@@ -1,0 +1,102 @@
+package ldl1
+
+import (
+	"strings"
+	"testing"
+)
+
+func answersEngine(t *testing.T) *Engine {
+	t.Helper()
+	eng, err := New(`
+		edge(a, b). edge(a, c). edge(b, d).
+		path(X, Y) <- edge(X, Y).
+		path(X, Y) <- edge(X, Z), path(Z, Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestAnswersVarsOrder(t *testing.T) {
+	ans, err := answersEngine(t).Query("path(X, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Vars) != 2 || ans.Vars[0] != "X" || ans.Vars[1] != "Y" {
+		t.Fatalf("Vars = %v", ans.Vars)
+	}
+	if ans.Len() != 4 {
+		t.Fatalf("Len = %d: %s", ans.Len(), ans)
+	}
+}
+
+func TestAnswersDeterministicOrder(t *testing.T) {
+	e := answersEngine(t)
+	first, err := e.Query("path(a, W)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := answersEngine(t).Query("path(a, W)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.String() != first.String() {
+			t.Fatalf("non-deterministic answer order:\n%s\nvs\n%s", again, first)
+		}
+	}
+	// Rows sorted by term order.
+	lines := strings.Split(first.String(), "\n")
+	if len(lines) != 3 || lines[0] != "W = b" || lines[1] != "W = c" || lines[2] != "W = d" {
+		t.Fatalf("rows = %v", lines)
+	}
+}
+
+func TestAnswersConjunctive(t *testing.T) {
+	ans, err := answersEngine(t).Query("edge(a, M), path(M, N)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 1 {
+		t.Fatalf("answers = %s", ans)
+	}
+	if got := ans.String(); got != "M = b, N = d" {
+		t.Fatalf("row = %q", got)
+	}
+}
+
+func TestAnswersEmptyAndGround(t *testing.T) {
+	e := answersEngine(t)
+	no, err := e.Query("path(d, a)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !no.Empty() || no.String() != "no" {
+		t.Fatalf("no-answer rendering = %q", no)
+	}
+	yes, err := e.Query("path(a, d)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yes.Empty() || yes.String() != "yes" {
+		t.Fatalf("yes rendering = %q", yes)
+	}
+}
+
+func TestAnswersSetValues(t *testing.T) {
+	eng, err := New(`
+		sp(s1, p2). sp(s1, p1).
+		supplies(S, <P>) <- sp(S, P).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := eng.Query("supplies(s1, Ps)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ans.String(); got != "Ps = {p1, p2}" {
+		t.Fatalf("set answer = %q", got)
+	}
+}

@@ -1,0 +1,169 @@
+// Command ldl1 runs LDL1 programs: it loads rule/fact files, evaluates the
+// standard minimal model bottom-up (Theorem 1 of the PODS'87 LDL1 paper),
+// and answers queries — optionally through the §6 magic-sets compiler.
+//
+// Usage:
+//
+//	ldl1 [flags] file.ldl...          # run programs; answer embedded ?- queries
+//	ldl1 [flags] -q 'anc(a, W)' file.ldl
+//
+// Flags:
+//
+//	-q query      answer this query (may repeat the ?- prefix)
+//	-magic        compile the query with Generalized Magic Sets (§6)
+//	-naive        use naive instead of semi-naive fixpoint evaluation
+//	-model        print the full minimal model
+//	-strata       print the layering (§3.1)
+//	-explain      with -q: print the adorned and magic-rewritten programs
+//	-stats        print evaluation counters
+//	-compile      print the program after LDL1.5 → LDL1 expansion and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"ldl1"
+	"ldl1/internal/parser"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ldl1:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		query       = flag.String("q", "", "query to answer")
+		magic       = flag.Bool("magic", false, "use magic-sets compilation for the query")
+		naive       = flag.Bool("naive", false, "use naive fixpoint evaluation")
+		model       = flag.Bool("model", false, "print the full minimal model")
+		strata      = flag.Bool("strata", false, "print the layering")
+		explain     = flag.Bool("explain", false, "print adorned and rewritten programs for -q")
+		stats       = flag.Bool("stats", false, "print evaluation counters")
+		compile     = flag.Bool("compile", false, "print the compiled (core LDL1) program and exit")
+		interactive = flag.Bool("i", false, "interactive query loop after loading files")
+	)
+	flag.Parse()
+
+	src, err := readSources(flag.Args())
+	if err != nil {
+		return err
+	}
+	unit, err := parser.Parse(src)
+	if err != nil {
+		return err
+	}
+
+	var opts []ldl1.Option
+	if *naive {
+		opts = append(opts, ldl1.WithStrategy(ldl1.Naive))
+	}
+	if *magic {
+		opts = append(opts, ldl1.WithMagic(true))
+	}
+	var st ldl1.Stats
+	if *stats {
+		opts = append(opts, ldl1.WithStats(&st))
+	}
+
+	eng, err := ldl1.NewFromAST(unit.Program, opts...)
+	if err != nil {
+		return err
+	}
+
+	if *compile {
+		fmt.Print(eng.Program())
+		return nil
+	}
+	if *interactive {
+		return repl(eng, os.Stdin, os.Stdout)
+	}
+	if *strata {
+		printStrata(eng)
+	}
+
+	queries := unit.Queries
+	if *query != "" {
+		q, err := parser.ParseQuery(*query)
+		if err != nil {
+			return err
+		}
+		queries = append(queries, q)
+	}
+
+	if *explain {
+		if len(queries) == 0 {
+			return fmt.Errorf("-explain needs a query")
+		}
+		for _, q := range queries {
+			adorned, rewritten, err := eng.ExplainQuery(strings.TrimSuffix(strings.TrimPrefix(q.String(), "?- "), "."))
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%% adorned program for %s\n%s\n%% magic-rewritten program\n%s\n", q, adorned, rewritten)
+		}
+		return nil
+	}
+
+	for _, q := range queries {
+		qs := strings.TrimSuffix(strings.TrimPrefix(q.String(), "?- "), ".")
+		ans, err := eng.Query(qs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n%s\n", q, ans)
+	}
+
+	if *model || len(queries) == 0 {
+		m, err := eng.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Println(m)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "iterations=%d derived=%d firings=%d\n", st.Iterations, st.Derived, st.Firings)
+	}
+	return nil
+}
+
+func readSources(paths []string) (string, error) {
+	if len(paths) == 0 {
+		data, err := io.ReadAll(os.Stdin)
+		return string(data), err
+	}
+	var sb strings.Builder
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return "", err
+		}
+		sb.Write(data)
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+func printStrata(eng *ldl1.Engine) {
+	st := eng.Strata()
+	byLayer := map[int][]string{}
+	max := 0
+	for pred, s := range st {
+		byLayer[s] = append(byLayer[s], pred)
+		if s > max {
+			max = s
+		}
+	}
+	for i := 0; i <= max; i++ {
+		preds := append([]string(nil), byLayer[i]...)
+		sort.Strings(preds)
+		fmt.Printf("layer %d: %s\n", i, strings.Join(preds, " "))
+	}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"ldl1"
+)
+
+// repl runs an interactive query loop against the engine.  Lines are
+// queries ("ancestor(abe, W)" or "?- ancestor(abe, W)."); colon commands
+// provide extras:
+//
+//	:assert f(a, b).   add an extensional fact
+//	:explain f(a, b)   print a proof tree for a fact in the model
+//	:model             print the whole minimal model
+//	:strata            print the layering
+//	:help              this text
+//	:quit              leave
+func repl(eng *ldl1.Engine, in io.Reader, out io.Writer) error {
+	fmt.Fprintln(out, "LDL1 interactive — :help for commands, :quit to leave")
+	sc := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(out, "?- ")
+		if !sc.Scan() {
+			fmt.Fprintln(out)
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case line == ":quit" || line == ":q":
+			return nil
+		case line == ":help":
+			fmt.Fprintln(out, ":assert <fact>.  :explain <fact>  :model  :strata  :quit")
+		case line == ":model":
+			m, err := eng.Run()
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			fmt.Fprintln(out, m)
+		case line == ":strata":
+			printStrata(eng)
+		case strings.HasPrefix(line, ":assert "):
+			src := strings.TrimPrefix(line, ":assert ")
+			if !strings.HasSuffix(src, ".") {
+				src += "."
+			}
+			if err := eng.AddFacts(src); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			}
+		case strings.HasPrefix(line, ":explain "):
+			fact := strings.TrimSuffix(strings.TrimPrefix(line, ":explain "), ".")
+			why, err := eng.Explain(fact)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			fmt.Fprintln(out, why)
+		default:
+			q := strings.TrimSuffix(strings.TrimPrefix(line, "?-"), ".")
+			ans, err := eng.Query(strings.TrimSpace(q))
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			fmt.Fprintln(out, ans)
+		}
+	}
+}

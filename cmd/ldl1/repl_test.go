@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ldl1"
+)
+
+func newTestEngine(t *testing.T) *ldl1.Engine {
+	t.Helper()
+	eng, err := ldl1.New(`
+		ancestor(X, Y) <- parent(X, Y).
+		ancestor(X, Y) <- parent(X, Z), ancestor(Z, Y).
+		parent(abe, bob). parent(bob, carl).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func runRepl(t *testing.T, eng *ldl1.Engine, input string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := repl(eng, strings.NewReader(input), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestReplQuery(t *testing.T) {
+	out := runRepl(t, newTestEngine(t), "ancestor(abe, W)\n:quit\n")
+	if !strings.Contains(out, "W = bob") || !strings.Contains(out, "W = carl") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestReplQueryWithPrefixAndDot(t *testing.T) {
+	out := runRepl(t, newTestEngine(t), "?- ancestor(abe, carl).\n:q\n")
+	if !strings.Contains(out, "yes") {
+		t.Errorf("output = %q", out)
+	}
+	out = runRepl(t, newTestEngine(t), "ancestor(carl, abe)\n:quit\n")
+	if !strings.Contains(out, "no") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestReplAssert(t *testing.T) {
+	out := runRepl(t, newTestEngine(t),
+		":assert parent(carl, dee).\nancestor(abe, dee)\n:quit\n")
+	if !strings.Contains(out, "yes") {
+		t.Errorf("assert did not take effect: %q", out)
+	}
+	// Rules are rejected by :assert.
+	out = runRepl(t, newTestEngine(t), ":assert bad(X) <- parent(X, X).\n:quit\n")
+	if !strings.Contains(out, "error") {
+		t.Errorf("rule assert should error: %q", out)
+	}
+}
+
+func TestReplExplain(t *testing.T) {
+	out := runRepl(t, newTestEngine(t), ":explain ancestor(abe, carl)\n:quit\n")
+	if !strings.Contains(out, "[fact]") || !strings.Contains(out, "parent(abe, bob)") {
+		t.Errorf("explain output = %q", out)
+	}
+	out = runRepl(t, newTestEngine(t), ":explain ancestor(carl, abe)\n:quit\n")
+	if !strings.Contains(out, "error") {
+		t.Errorf("explaining absent fact should error: %q", out)
+	}
+}
+
+func TestReplModelAndHelp(t *testing.T) {
+	out := runRepl(t, newTestEngine(t), ":help\n:model\n:quit\n")
+	if !strings.Contains(out, ":assert") {
+		t.Errorf("help missing: %q", out)
+	}
+	if !strings.Contains(out, "ancestor(abe, carl).") {
+		t.Errorf("model missing facts: %q", out)
+	}
+}
+
+func TestReplErrorRecovery(t *testing.T) {
+	out := runRepl(t, newTestEngine(t), "((bad syntax\nancestor(abe, bob)\n:quit\n")
+	if !strings.Contains(out, "error") {
+		t.Errorf("syntax error not reported: %q", out)
+	}
+	if !strings.Contains(out, "yes") {
+		t.Errorf("REPL did not recover after error: %q", out)
+	}
+}
+
+func TestReplEOF(t *testing.T) {
+	// EOF without :quit exits cleanly.
+	out := runRepl(t, newTestEngine(t), "ancestor(abe, bob)\n")
+	if !strings.Contains(out, "yes") {
+		t.Errorf("output = %q", out)
+	}
+}

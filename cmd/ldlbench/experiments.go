@@ -1,0 +1,546 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"ldl1"
+	"ldl1/internal/eval"
+	"ldl1/internal/layering"
+	"ldl1/internal/magic"
+	"ldl1/internal/model"
+	"ldl1/internal/parser"
+	"ldl1/internal/rewrite"
+	"ldl1/internal/store"
+	"ldl1/internal/workload"
+)
+
+// timed runs fn and returns its wall-clock duration.
+func timed(fn func() error) (time.Duration, error) {
+	start := time.Now()
+	err := fn()
+	return time.Since(start), err
+}
+
+// evalWith evaluates src rules over db, returning the model, stats, time.
+func evalWith(src string, db *store.DB, strat eval.Strategy) (*store.DB, eval.Stats, time.Duration, error) {
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		return nil, eval.Stats{}, 0, err
+	}
+	var st eval.Stats
+	var out *store.DB
+	d, err := timed(func() error {
+		var err error
+		out, err = eval.Eval(p, db, eval.Options{Strategy: strat, Stats: &st})
+		return err
+	})
+	return out, st, d, err
+}
+
+const ancestorRules = `
+	ancestor(X, Y) <- parent(X, Y).
+	ancestor(X, Y) <- parent(X, Z), ancestor(Z, Y).
+`
+
+func runE1() error {
+	fmt.Printf("%-14s %6s %-10s %9s %10s %9s %10s\n",
+		"workload", "n", "", "tuples", "derived", "iters", "time")
+	for _, n := range []int{64, 128, 256, 512} {
+		for _, w := range []struct {
+			name string
+			db   *store.DB
+		}{
+			{"chain", workload.ParentChain(n)},
+			{"random-dag", workload.RandomDAG(n, 2, 1)},
+		} {
+			for _, s := range []struct {
+				name  string
+				strat eval.Strategy
+			}{{"naive", eval.Naive}, {"semi-naive", eval.SemiNaive}} {
+				if s.strat == eval.Naive && n > 256 {
+					continue // the naive chain run is quadratic-in-iterations; see E16
+				}
+				out, st, d, err := evalWith(ancestorRules, w.db, s.strat)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%-14s %6d %-10s %9d %10d %9d %10s\n",
+					w.name, n, s.name, out.Rel("ancestor").Len(), st.Derived, st.Iterations, d.Round(time.Microsecond))
+			}
+		}
+	}
+	fmt.Println("expected shape: identical tuples; semi-naive needs far less work, gap grows with n")
+	return nil
+}
+
+func runE2() error {
+	rules := ancestorRules + `
+		excl_ancestor(X, Y, Z) <- ancestor(X, Y), not ancestor(X, Z), person(Z).
+	`
+	fmt.Printf("%6s %12s %14s %10s\n", "n", "ancestor", "excl_ancestor", "time")
+	for _, n := range []int{16, 32, 64} {
+		db := workload.Persons(workload.ParentChain(n), n)
+		out, _, d, err := evalWith(rules, db, eval.SemiNaive)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%6d %12d %14d %10s\n",
+			n, out.Rel("ancestor").Len(), out.Rel("excl_ancestor").Len(), d.Round(time.Microsecond))
+	}
+	fmt.Println("expected shape: excl_ancestor = Σ over (X,Y) of non-descendants of X; two layers evaluate bottom-up")
+	return nil
+}
+
+func runE3() error {
+	for _, c := range []struct{ name, src string }{
+		{"§1 even", `
+			int(0).
+			int(s(X)) <- int(X).
+			even(0).
+			even(s(X)) <- int(X), not even(X).`},
+		{"§2.3 Russell", `
+			p(<X>) <- p(X).
+			p(1).`},
+	} {
+		p, err := parser.ParseProgram(c.src)
+		if err != nil {
+			return err
+		}
+		_, err = layering.Stratify(p)
+		if err == nil {
+			return fmt.Errorf("%s: expected inadmissibility, got a layering", c.name)
+		}
+		fmt.Printf("%-14s REJECTED as expected: %v\n", c.name, err)
+	}
+	return nil
+}
+
+func runE4() error {
+	rules := `
+		book_deal({X, Y, Z}) <- book(X, Px), book(Y, Py), book(Z, Pz), Px + Py + Pz < 100.
+	`
+	fmt.Printf("%8s %10s %10s\n", "books", "deals", "time")
+	for _, n := range []int{8, 16, 24} {
+		db := workload.Books(n, 7)
+		out, _, d, err := evalWith(rules, db, eval.SemiNaive)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8d %10d %10s\n", n, out.Rel("book_deal").Len(), d.Round(time.Microsecond))
+	}
+	fmt.Println("expected shape: deals grow ~n^3 before dedup; singletons/doublets present (duplicate elimination)")
+	return nil
+}
+
+func runE5() error {
+	rules := `supplies(S, <P>) <- sp(S, P).`
+	fmt.Printf("%10s %10s %10s %10s\n", "suppliers", "sp-tuples", "groups", "time")
+	for _, s := range []int{16, 64, 256} {
+		db := workload.SupplierParts(s, 8, 11)
+		out, _, d, err := evalWith(rules, db, eval.SemiNaive)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%10d %10d %10d %10s\n", s, db.Rel("sp").Len(), out.Rel("supplies").Len(), d.Round(time.Microsecond))
+	}
+	fmt.Println("expected shape: exactly one group per supplier; linear time")
+	return nil
+}
+
+const partCostRules = `
+	part(P, <S>) <- p(P, S).
+	tc({X}, C) <- q(X, C).
+	tc({X}, C) <- part(X, S), tc(S, C).
+	tc(S, C) <- partition(S, S1, S2), tc(S1, C1), tc(S2, C2), C = C1 + C2.
+	result(X, C) <- tc(S, C), member(X, S), S = {X}.
+`
+
+func runE6() error {
+	// First: the paper's literal instance with its quoted tuples.
+	paper := `
+		p(1, 2). p(1, 7). p(2, 3). p(2, 4). p(3, 5). p(3, 6).
+		q(4, 20). q(5, 10). q(6, 15). q(7, 200).
+	` + partCostRules
+	out, _, _, err := evalWith(paper, store.NewDB(), eval.SemiNaive)
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{"tc({3}, 25)", "tc({2}, 45)", "tc({1}, 245)"} {
+		f, _ := parser.ParseProgram(want + ".")
+		h := f.Rules[0].Head
+		if !out.Contains(ldl1.NewFact(h.Pred, h.Args...)) {
+			return fmt.Errorf("paper tuple %s missing", want)
+		}
+		fmt.Printf("paper tuple %-14s PRESENT\n", want)
+	}
+	fmt.Printf("result relation: %d tuples (paper: one per part)\n", out.Rel("result").Len())
+
+	// Then: generated bill-of-material trees.
+	fmt.Printf("%7s %7s %8s %8s %10s\n", "depth", "fanout", "tc", "results", "time")
+	// tc holds one tuple per disjoint union of part sets, so keep the
+	// part count small: parts = (fanout^(depth+1)-1)/(fanout-1).
+	for _, cfg := range [][2]int{{1, 4}, {1, 6}, {2, 2}, {1, 8}} {
+		db := workload.BOM(cfg[0], cfg[1])
+		out, _, d, err := evalWith(partCostRules, db, eval.SemiNaive)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%7d %7d %8d %8d %10s\n",
+			cfg[0], cfg[1], out.Rel("tc").Len(), out.Rel("result").Len(), d.Round(time.Microsecond))
+	}
+	fmt.Println("expected shape: tc covers every disjoint union of part sets (exponential); result linear in parts")
+	return nil
+}
+
+func runE7() error {
+	p := parser.MustParseProgram(`
+		q(X) <- p(X), h(X).
+		p(<X>) <- r(X).
+		r(1).
+		h({1}).
+	`)
+	check := func(name, facts string, want bool) error {
+		m := store.NewDB()
+		fp := parser.MustParseProgram(facts)
+		for _, r := range fp.Rules {
+			m.Insert(ldl1.NewFact(r.Head.Pred, r.Head.Args...))
+		}
+		got, err := model.IsModel(p, m)
+		if err != nil {
+			return err
+		}
+		status := "OK"
+		if got != want {
+			status = "MISMATCH"
+		}
+		fmt.Printf("%-40s model=%v (paper: %v)  %s\n", name, got, want, status)
+		if got != want {
+			return fmt.Errorf("%s: model check mismatch", name)
+		}
+		return nil
+	}
+	if err := check("{r(1),h({1}),p({1}),q({1})}", "r(1). h({1}). p({1}). q({1}).", true); err != nil {
+		return err
+	}
+	return check("{r(1),h({1}),p({1,2})}", "r(1). h({1}). p({1, 2}).", false)
+}
+
+func runE8() error {
+	// Intersection of models need not be a model.
+	p := parser.MustParseProgram("p(<X>) <- q(X).")
+	mk := func(facts string) *store.DB {
+		m := store.NewDB()
+		for _, r := range parser.MustParseProgram(facts).Rules {
+			m.Insert(ldl1.NewFact(r.Head.Pred, r.Head.Args...))
+		}
+		return m
+	}
+	a := mk("q(1). q(2). p({1, 2}).")
+	b := mk("q(2). q(3). p({2, 3}).")
+	inter := mk("q(2).")
+	for _, c := range []struct {
+		name string
+		m    *store.DB
+		want bool
+	}{{"A", a, true}, {"B", b, true}, {"A∩B", inter, false}} {
+		got, err := model.IsModel(p, c.m)
+		if err != nil {
+			return err
+		}
+		if got != c.want {
+			return fmt.Errorf("%s: got %v want %v", c.name, got, c.want)
+		}
+		fmt.Printf("interpretation %-4s is model: %-5v (paper: %v)\n", c.name, got, c.want)
+	}
+	// Two incomparable minimal models (§2.3).
+	p2 := parser.MustParseProgram(`
+		p(<X>) <- q(X).
+		q(Y) <- w(S, Y), p(S).
+		q(1).
+		w({1}, 7).
+	`)
+	m1 := mk("q(1). w({1}, 7). q(2). p({1, 2}).")
+	m2 := mk("q(1). w({1}, 7). q(3). p({1, 3}).")
+	for _, c := range []struct {
+		name string
+		m    *store.DB
+	}{{"M1", m1}, {"M2", m2}} {
+		ok, err := model.IsModel(p2, c.m)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("%s should be a model", c.name)
+		}
+	}
+	if model.StrictlyBelow(m1, m2) || model.StrictlyBelow(m2, m1) {
+		return fmt.Errorf("M1 and M2 should be incomparable")
+	}
+	fmt.Println("M1, M2 both models, incomparable under §2.4 dominance: no unique minimal model")
+	return nil
+}
+
+func runE9() error {
+	p := parser.MustParseProgram(`
+		q(1).
+		p(<X>) <- q(X).
+		q(2) <- p({1, 2}).
+	`)
+	mk := func(facts string) *store.DB {
+		m := store.NewDB()
+		for _, r := range parser.MustParseProgram(facts).Rules {
+			m.Insert(ldl1.NewFact(r.Head.Pred, r.Head.Args...))
+		}
+		return m
+	}
+	m1 := mk("q(1). q(2). p({1, 2}).")
+	m2 := mk("q(1). p({1}).")
+	ok1, _ := model.IsModel(p, m1)
+	ok2, _ := model.IsModel(p, m2)
+	below := model.StrictlyBelow(m2, m1)
+	fmt.Printf("M1 model: %v; M2 model: %v; M2 strictly below M1: %v (paper: true/true/true)\n", ok1, ok2, below)
+	if !ok1 || !ok2 || !below {
+		return fmt.Errorf("§2.4 example mismatch")
+	}
+	return nil
+}
+
+func runE10() error {
+	srcs := []struct{ name, src string }{
+		{"ancestor", ancestorRules + "parent(a, b). parent(b, c). parent(c, d)."},
+		{"grouping", "sp(s1, p1). sp(s1, p2). sp(s2, p1). supplies(S, <P>) <- sp(S, P)."},
+		{"negation", "e(1). e(2). e(3). even(2). odd(X) <- e(X), not even(X)."},
+		{"nested sets", "q(1). q(2). p(<X>) <- q(X). w(<S>) <- p(S)."},
+	}
+	for _, c := range srcs {
+		p := parser.MustParseProgram(c.src)
+		a, _, _, err := evalWith(c.src, store.NewDB(), eval.Naive)
+		if err != nil {
+			return err
+		}
+		b, _, _, err := evalWith(c.src, store.NewDB(), eval.SemiNaive)
+		if err != nil {
+			return err
+		}
+		isModel, err := model.IsModel(p, b)
+		if err != nil {
+			return err
+		}
+		agree := a.Equal(b)
+		fmt.Printf("%-12s naive==semi-naive: %-5v  result is a model: %v\n", c.name, agree, isModel)
+		if !agree || !isModel {
+			return fmt.Errorf("%s: Theorem 1/2 property violated", c.name)
+		}
+	}
+	return nil
+}
+
+func runE11() error {
+	rules := ancestorRules + `
+		excl_ancestor(X, Y, Z) <- ancestor(X, Y), not ancestor(X, Z), person(Z).
+	`
+	fmt.Printf("%6s %14s %16s %12s %12s %8s\n", "n", "orig-time", "positive-time", "orig-facts", "pos-facts", "equal")
+	for _, n := range []int{8, 16, 32} {
+		db := workload.Persons(workload.ParentChain(n), n)
+		p := parser.MustParseProgram(rules)
+		pos, err := rewrite.EliminateNegation(p)
+		if err != nil {
+			return err
+		}
+		if !pos.IsPositive() {
+			return fmt.Errorf("transformation left negation")
+		}
+		var origDB, posDB *store.DB
+		dOrig, err := timed(func() error {
+			var err error
+			origDB, err = eval.Eval(p, db, eval.Options{})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		dPos, err := timed(func() error {
+			var err error
+			posDB, err = eval.Eval(pos, db, eval.Options{})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		restricted := rewrite.Restrict(posDB, p.Preds())
+		origR := rewrite.Restrict(origDB, p.Preds())
+		fmt.Printf("%6d %14s %16s %12d %12d %8v\n",
+			n, dOrig.Round(time.Microsecond), dPos.Round(time.Microsecond),
+			origR.Len(), restricted.Len(), restricted.Equal(origR))
+		if !restricted.Equal(origR) {
+			return fmt.Errorf("n=%d: models differ", n)
+		}
+	}
+	fmt.Println("expected shape: identical restricted models; the positive program pays a grouping overhead")
+	return nil
+}
+
+func runE12() error {
+	cases := []struct{ name, src, pred string }{
+		{"flat <X>", "p({1, 2}). p({7}). q(X) <- p(<X>).", "q"},
+		{"uniform <<X>> ok", "pa({{1, 2}, {3}}). oka(X) <- pa(<<X>>).", "oka"},
+		{"uniform <<X>> reject", "pb({{1, 2}, 3}). okb(X) <- pb(<<X>>).", "okb"},
+		{"shaped f(K,<V>)", "p({f(a, {1, 2}), f(b, {3})}). kv(K, V) <- p(<f(K, <V>)>).", "kv"},
+	}
+	for _, c := range cases {
+		p := parser.MustParseProgram(c.src)
+		rp, err := rewrite.Rewrite(p)
+		if err != nil {
+			return err
+		}
+		out, err := eval.Eval(rp, store.NewDB(), eval.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-22s -> %d %s tuples (aux rules: %d)\n",
+			c.name, out.Rel(c.pred).Len(), c.pred, len(rp.Rules)-len(p.Rules))
+	}
+	fmt.Println("expected: 3, 3, 0, 3 tuples — non-uniform sets contribute nothing (§4.1 example)")
+	return nil
+}
+
+func runE13() error {
+	heads := []struct{ name, rule string }{
+		{"(T,<S>,<D>)", "out(T, <S>, <D>) <- r(T, S, C, D)."},
+		{"(T,<h(S,<D>)>)", "out(T, <h(S, <D>)>) <- r(T, S, C, D)."},
+		{"((T,S),<(C,<D>)>)", "out((T, S), <(C, <D>)>) <- r(T, S, C, D)."},
+	}
+	fmt.Printf("%-20s %8s %8s %8s %10s\n", "head form", "base", "rules", "out", "time")
+	for _, h := range heads {
+		db := workload.TeacherSchedule(8, 6, 4, 3)
+		p := parser.MustParseProgram(h.rule)
+		rp, err := rewrite.Rewrite(p)
+		if err != nil {
+			return err
+		}
+		var out *store.DB
+		d, err := timed(func() error {
+			var err error
+			out, err = eval.Eval(rp, db, eval.Options{})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %8d %8d %8d %10s\n",
+			h.name, db.Rel("r").Len(), len(rp.Rules), out.Rel("out").Len(), d.Round(time.Microsecond))
+	}
+	fmt.Println("expected shape: one out tuple per grouping key (teacher, or teacher-student pair)")
+	return nil
+}
+
+func runE15() error {
+	// The §6 running example: print the compilation artifacts once.
+	eng, err := ldl1.New(`
+		a(X, Y) <- p(X, Y).
+		a(X, Y) <- a(X, Z), a(Z, Y).
+		sg(X, Y) <- siblings(X, Y).
+		sg(X, Y) <- p(Z1, X), sg(Z1, Z2), p(Z2, Y).
+		hasdesc(X) <- a(X, Z).
+		young(X, <Y>) <- sg(X, Y), not hasdesc(X).
+		p(adam, mary). p(adam, pat). p(mary, john). p(pat, jack).
+		siblings(mary, pat). siblings(pat, mary).
+	`)
+	if err != nil {
+		return err
+	}
+	adorned, rewritten, err := eng.ExplainQuery("young(john, S)")
+	if err != nil {
+		return err
+	}
+	fmt.Println("-- adorned program (compare paper rules 1-5):")
+	fmt.Print(adorned)
+	fmt.Println("-- magic-rewritten program (compare paper rules 1'-11'):")
+	fmt.Print(rewritten)
+
+	// Performance sweep: selective young query on growing family forests.
+	rules := `
+		a(X, Y) <- p(X, Y).
+		a(X, Y) <- a(X, Z), a(Z, Y).
+		sg(X, Y) <- siblings(X, Y).
+		sg(X, Y) <- p(Z1, X), sg(Z1, Z2), p(Z2, Y).
+		hasdesc(X) <- a(X, Z).
+		young(X, <Y>) <- sg(X, Y), not hasdesc(X).
+	`
+	p := parser.MustParseProgram(rules)
+	fmt.Printf("%10s %8s %14s %12s %14s %10s %10s %10s %9s\n",
+		"families", "facts", "magic-derived", "sup-derived", "base-derived", "magic-t", "sup-t", "base-t", "speedup")
+	for _, fams := range []int{4, 16, 64} {
+		db := workload.FamilyForest(fams, 4)
+		q, _ := parser.ParseQuery("young(n16, S)") // a leaf of the first family
+		var mStats, sStats, bStats eval.Stats
+		var mres, sres *magic.Result
+		dm, err := timed(func() error {
+			var err error
+			mres, err = magic.AnswerVariant(p, db, q, eval.Options{Stats: &mStats}, magic.Basic)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		ds, err := timed(func() error {
+			var err error
+			sres, err = magic.AnswerVariant(p, db, q, eval.Options{Stats: &sStats}, magic.Supplementary)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		var baseSols int
+		dbase, err := timed(func() error {
+			sols, _, err := magic.AnswerWithout(p, db, q, eval.Options{Stats: &bStats})
+			baseSols = len(sols)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		if len(mres.Solutions) != baseSols || len(sres.Solutions) != baseSols {
+			return fmt.Errorf("magic variants and baseline disagree: %d/%d vs %d",
+				len(mres.Solutions), len(sres.Solutions), baseSols)
+		}
+		speedup := float64(dbase) / float64(dm)
+		fmt.Printf("%10d %8d %14d %12d %14d %10s %10s %10s %8.1fx\n",
+			fams, db.Len(), mStats.Derived, sStats.Derived, bStats.Derived,
+			dm.Round(time.Microsecond), ds.Round(time.Microsecond),
+			dbase.Round(time.Microsecond), speedup)
+	}
+	fmt.Println("expected shape: magic work stays flat while baseline grows with |DB|; speedup grows")
+	return nil
+}
+
+func runE16() error {
+	fmt.Printf("%-22s %9s %10s %10s\n", "configuration", "derived", "firings", "time")
+	db := workload.RandomDAG(256, 2, 5)
+	for _, c := range []struct {
+		name    string
+		strat   eval.Strategy
+		indexes bool
+	}{
+		{"semi-naive + indexes", eval.SemiNaive, true},
+		{"semi-naive, no index", eval.SemiNaive, false},
+		{"naive + indexes", eval.Naive, true},
+		{"naive, no index", eval.Naive, false},
+	} {
+		in := db.Clone()
+		in.UseIndexes = c.indexes
+		p := parser.MustParseProgram(ancestorRules)
+		var st eval.Stats
+		d, err := timed(func() error {
+			_, err := eval.Eval(p, in, eval.Options{Strategy: c.strat, Stats: &st})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-22s %9d %10d %10s\n", c.name, st.Derived, st.Firings, d.Round(time.Millisecond))
+	}
+	fmt.Println("expected shape: indexes cut join time; semi-naive cuts firings; both compose")
+	return nil
+}

@@ -1,0 +1,84 @@
+// Command ldlbench regenerates the experiment tables of EXPERIMENTS.md:
+// one experiment per worked example or claim of the LDL1 paper (PODS'87),
+// as indexed in DESIGN.md.
+//
+// Usage:
+//
+//	ldlbench            # run every experiment
+//	ldlbench -exp e15   # run one experiment
+//	ldlbench -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// experiment is one reproducible artifact of the paper.
+type experiment struct {
+	id    string
+	title string
+	run   func() error
+}
+
+var experiments = []experiment{
+	{"e1", "§1 ancestor: naive vs semi-naive bottom-up", runE1},
+	{"e2", "§1 excl_ancestor: stratified negation", runE2},
+	{"e3", "§1 even & §2.3 Russell: inadmissible programs rejected", runE3},
+	{"e4", "§1 book_deal: set enumeration", runE4},
+	{"e5", "§1 supplier-parts: set grouping", runE5},
+	{"e6", "§1 part-cost: grouping + partition + recursion over sets", runE6},
+	{"e7", "§2.2 model-checking example", runE7},
+	{"e8", "§2.3 failures of the classical semantics", runE8},
+	{"e9", "§2.4 dominance-based minimality", runE9},
+	{"e10", "§3.2 Theorems 1–2: standard model properties", runE10},
+	{"e11", "§3.3 eliminating negation through grouping", runE11},
+	{"e12", "§4.1 body set patterns", runE12},
+	{"e13", "§4.2 complex head terms", runE13},
+	{"e14", "§5 LPS: direct evaluation vs Theorem 3 translation", runE14},
+	{"e15", "§6 magic sets: rewriting and selective-query speedup", runE15},
+	{"e16", "ablations: strategy and indexing", runE16},
+}
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "experiment id (e1..e16); empty runs all")
+		list = flag.Bool("list", false, "list experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-4s %s\n", e.id, e.title)
+		}
+		return
+	}
+	ran := 0
+	for _, e := range experiments {
+		if *exp != "" && e.id != *exp {
+			continue
+		}
+		fmt.Printf("==== %s: %s ====\n", e.id, e.title)
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(1)
+	}
+}
+
+func sortedKeys[K int | string, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,289 @@
+package ldl1
+
+import (
+	"fmt"
+	"sort"
+
+	"ldl1/internal/ast"
+	"ldl1/internal/eval"
+	"ldl1/internal/layering"
+	"ldl1/internal/magic"
+	"ldl1/internal/parser"
+	"ldl1/internal/rewrite"
+	"ldl1/internal/store"
+	"ldl1/internal/term"
+)
+
+// Strategy selects the fixpoint algorithm (§3.2).
+type Strategy = eval.Strategy
+
+// Evaluation strategies.
+const (
+	// SemiNaive restricts recursive rule applications to facts derived
+	// in the previous iteration (the default).
+	SemiNaive = eval.SemiNaive
+	// Naive is the literal R_{i+1}(M) = ∪ r(R_i(M)) ∪ R_i(M) iteration.
+	Naive = eval.Naive
+)
+
+// Stats collects evaluation counters; pass one via WithStats.
+type Stats = eval.Stats
+
+// Option configures an Engine.
+type Option func(*config)
+
+type config struct {
+	strategy      Strategy
+	stats         *Stats
+	magic         bool
+	supplementary bool
+	noIndexes     bool
+	noRewrite     bool
+	limit         int
+	workers       int
+}
+
+// WithStrategy selects naive or semi-naive evaluation.
+func WithStrategy(s Strategy) Option { return func(c *config) { c.strategy = s } }
+
+// WithStats attaches a counter sink.
+func WithStats(s *Stats) Option { return func(c *config) { c.stats = s } }
+
+// WithMagic enables Generalized Magic Sets query compilation (§6):
+// Query then rewrites the program per query and evaluates only the
+// relevant portion of the database.  Run is unaffected.
+func WithMagic(on bool) Option { return func(c *config) { c.magic = on } }
+
+// WithSupplementaryMagic selects the supplementary-magic-sets rewriting
+// (the full [BR87] algorithm: rule prefixes are materialized once in
+// sup predicates).  Implies WithMagic(true).
+func WithSupplementaryMagic() Option {
+	return func(c *config) {
+		c.magic = true
+		c.supplementary = true
+	}
+}
+
+// WithWorkers evaluates each fixpoint round's rule applications with n
+// concurrent workers (derivations are buffered and merged between rounds;
+// the computed model is unchanged).
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithLimit bounds the number of derived facts; evaluation aborts with an
+// error beyond it.  A termination guard for programs whose function symbols
+// could generate unbounded terms.
+func WithLimit(maxDerived int) Option { return func(c *config) { c.limit = maxDerived } }
+
+// WithoutIndexes disables per-column hash indexes (for ablation).
+func WithoutIndexes() Option { return func(c *config) { c.noIndexes = true } }
+
+// WithoutRewrite disables the automatic LDL1.5 → LDL1 compilation; programs
+// using §4 constructs are then rejected by the well-formedness check.
+func WithoutRewrite() Option { return func(c *config) { c.noRewrite = true } }
+
+// Engine holds a checked LDL1 program plus its extensional database.
+type Engine struct {
+	cfg      config
+	source   *ast.Program // program as written (after LDL1.5 expansion)
+	original *ast.Program // program as written, before expansion
+	edb      *store.DB
+	model    *store.DB // memoized Run result
+}
+
+// New parses an LDL1 (or LDL1.5) program — rules and facts — compiles any
+// §4 extension constructs away, and verifies well-formedness (§2.1, §7)
+// and admissibility (§3.1).
+func New(src string, opts ...Option) (*Engine, error) {
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromAST(p, opts...)
+}
+
+// NewFromAST builds an engine from an already-parsed program; see New.
+func NewFromAST(p *ast.Program, opts ...Option) (*Engine, error) {
+	e := &Engine{original: p}
+	for _, o := range opts {
+		o(&e.cfg)
+	}
+	compiled := p
+	if !e.cfg.noRewrite && rewrite.NeedsRewrite(p) {
+		var err error
+		compiled, err = rewrite.Rewrite(p)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ast.CheckWellFormed(compiled); err != nil {
+		return nil, err
+	}
+	if _, err := layering.Stratify(compiled); err != nil {
+		return nil, err
+	}
+	e.source = compiled
+	e.edb = store.NewDB()
+	e.edb.UseIndexes = !e.cfg.noIndexes
+	return e, nil
+}
+
+// AddFact inserts one extensional fact.
+func (e *Engine) AddFact(f *Fact) {
+	e.model = nil
+	e.edb.Insert(f)
+}
+
+// AddFacts inserts facts given as LDL1 source text ("parent(a, b). ...").
+func (e *Engine) AddFacts(src string) error {
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		return err
+	}
+	for _, r := range p.Rules {
+		if !r.IsFact() {
+			return fmt.Errorf("ldl1: AddFacts source contains a rule: %s", r.String())
+		}
+		e.AddFact(term.NewFact(r.Head.Pred, r.Head.Args...))
+	}
+	return nil
+}
+
+// AddDB inserts every fact of a prebuilt database (e.g. from the workload
+// generators used in benchmarks).
+func (e *Engine) AddDB(db *store.DB) {
+	e.model = nil
+	e.edb.AddAll(db)
+}
+
+// Program returns the compiled program text (after LDL1.5 expansion).
+func (e *Engine) Program() string { return e.source.String() }
+
+// Strata returns the layer index of every predicate (§3.1).
+func (e *Engine) Strata() map[string]int {
+	lay, err := layering.Stratify(e.source)
+	if err != nil {
+		return nil // cannot happen: checked in New
+	}
+	out := make(map[string]int, len(lay.Stratum))
+	for k, v := range lay.Stratum {
+		out[k] = v
+	}
+	return out
+}
+
+// IsPositive reports whether the compiled program is negation-free, in
+// which case its minimal model is unique (§3, corollary to Theorem 1).
+func (e *Engine) IsPositive() bool { return e.source.IsPositive() }
+
+// Run computes the standard minimal model M_n of the program with respect
+// to the extensional database (Theorem 1) and returns it.  The model is
+// memoized until facts change.
+func (e *Engine) Run() (*Model, error) {
+	if e.model == nil {
+		db, err := eval.Eval(e.source, e.edb, eval.Options{Strategy: e.cfg.strategy, Stats: e.cfg.stats, MaxDerived: e.cfg.limit, Workers: e.cfg.workers})
+		if err != nil {
+			return nil, err
+		}
+		e.model = db
+	}
+	return &Model{db: e.model}, nil
+}
+
+// Query answers a conjunctive query ("ancestor(abe, W)", with or without
+// the ?- prefix).  With WithMagic and a single-literal query on a derived
+// predicate, the Generalized Magic Sets pipeline of §6 is used; otherwise
+// the full model is computed and filtered.
+func (e *Engine) Query(q string) (*Answers, error) {
+	query, err := parser.ParseQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	if e.cfg.magic && len(query.Body) == 1 && e.isDerived(query.Body[0].Pred) {
+		variant := magic.Basic
+		if e.cfg.supplementary {
+			variant = magic.Supplementary
+		}
+		res, err := magic.AnswerVariant(e.source, e.edb, query, eval.Options{Strategy: e.cfg.strategy, Stats: e.cfg.stats}, variant)
+		if err != nil {
+			return nil, err
+		}
+		return newAnswers(query, res.Solutions), nil
+	}
+	m, err := e.Run()
+	if err != nil {
+		return nil, err
+	}
+	sols, err := eval.Solve(query.Body, m.db)
+	if err != nil {
+		return nil, err
+	}
+	return newAnswers(query, sols), nil
+}
+
+func (e *Engine) isDerived(pred string) bool {
+	for _, r := range e.source.Rules {
+		if r.Head.Pred == pred && !r.IsFact() {
+			return true
+		}
+	}
+	return false
+}
+
+// ExplainQuery returns the §6 compilation artifacts for a query: the
+// adorned program and the magic-rewritten rules, in the paper's notation.
+func (e *Engine) ExplainQuery(q string) (adorned, rewritten string, err error) {
+	query, err := parser.ParseQuery(q)
+	if err != nil {
+		return "", "", err
+	}
+	ap, err := magic.Adorn(e.source, query)
+	if err != nil {
+		return "", "", err
+	}
+	rw, err := magic.Rewrite(ap)
+	if err != nil {
+		return "", "", err
+	}
+	return ap.String(), rw.Program.String(), nil
+}
+
+// Model is a computed minimal model: a finite set of U-facts.
+type Model struct {
+	db *store.DB
+}
+
+// Contains reports whether the model holds the fact given as source text,
+// e.g. "ancestor(abe, carl)".
+func (m *Model) Contains(factSrc string) (bool, error) {
+	p, err := parser.ParseProgram(factSrc + ".")
+	if err != nil {
+		return false, err
+	}
+	if len(p.Rules) != 1 || !p.Rules[0].IsFact() {
+		return false, fmt.Errorf("ldl1: %q is not a single fact", factSrc)
+	}
+	h := p.Rules[0].Head
+	return m.db.Contains(term.NewFact(h.Pred, h.Args...)), nil
+}
+
+// Facts returns the model's facts for one predicate, rendered as source
+// text, sorted.
+func (m *Model) Facts(pred string) []string {
+	rel := m.db.Rel(pred)
+	out := make([]string, 0, rel.Len())
+	for _, f := range rel.All() {
+		out = append(out, f.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the total number of facts in the model.
+func (m *Model) Len() int { return m.db.Len() }
+
+// String renders the whole model as sorted fact lines.
+func (m *Model) String() string { return m.db.String() }
+
+// DB exposes the underlying fact store (shared, do not mutate) for
+// advanced use such as the model-theory checkers.
+func (m *Model) DB() *store.DB { return m.db }

@@ -1,0 +1,318 @@
+package ldl1
+
+import (
+	"strings"
+	"testing"
+
+	"ldl1/internal/workload"
+)
+
+func TestQuickstart(t *testing.T) {
+	eng, err := New(`
+		ancestor(X, Y) <- parent(X, Y).
+		ancestor(X, Y) <- parent(X, Z), ancestor(Z, Y).
+		parent(abe, bob). parent(bob, carl). parent(carl, dee).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := eng.Query("ancestor(abe, W)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 3 {
+		t.Fatalf("answers: %s", ans)
+	}
+	if got := ans.String(); !strings.Contains(got, "W = bob") || !strings.Contains(got, "W = dee") {
+		t.Errorf("answers = %q", got)
+	}
+	m, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := m.Contains("ancestor(bob, dee)")
+	if err != nil || !ok {
+		t.Errorf("Contains = %v, %v", ok, err)
+	}
+	if facts := m.Facts("ancestor"); len(facts) != 6 {
+		t.Errorf("ancestor facts = %v", facts)
+	}
+}
+
+func TestGroundQueryYesNo(t *testing.T) {
+	eng, err := New(`edge(a, b). path(X, Y) <- edge(X, Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yes, err := eng.Query("path(a, b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yes.Empty() || yes.String() != "yes" {
+		t.Errorf("ground true query: %q", yes)
+	}
+	no, err := eng.Query("path(b, a)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !no.Empty() || no.String() != "no" {
+		t.Errorf("ground false query: %q", no)
+	}
+}
+
+func TestEngineLDL15AutoRewrite(t *testing.T) {
+	eng, err := New(`
+		r(t1, s1, c1, mon). r(t1, s1, c2, tue). r(t2, s1, c3, wed).
+		out(T, <S>, <D>) <- r(T, S, C, D).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := eng.Query("out(t1, S, D)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 1 {
+		t.Fatalf("answers = %s", ans)
+	}
+	// WithoutRewrite must reject the same program.
+	if _, err := New(`
+		r(t1, s1, c1, mon).
+		out(T, <S>, <D>) <- r(T, S, C, D).
+	`, WithoutRewrite()); err == nil {
+		t.Error("WithoutRewrite should reject LDL1.5 heads")
+	}
+}
+
+func TestEngineMagicMatchesBaseline(t *testing.T) {
+	src := `
+		anc(X, Y) <- par(X, Y).
+		anc(X, Y) <- par(X, Z), anc(Z, Y).
+	`
+	mk := func(opts ...Option) *Engine {
+		eng, err := New(src, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			eng.AddFact(NewFact("par", Sym(nodeName(i)), Sym(nodeName(i+1))))
+		}
+		return eng
+	}
+	base, err := mk().Query("anc(n47, W)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	magic, err := mk(WithMagic(true), WithStats(&stats)).Query("anc(n47, W)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.String() != magic.String() {
+		t.Errorf("magic differs:\n%s\nvs\n%s", magic, base)
+	}
+	if stats.Derived > 30 {
+		t.Errorf("magic derived %d facts; expected a handful", stats.Derived)
+	}
+}
+
+func nodeName(i int) string {
+	return "n" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func TestEngineRejectsBadPrograms(t *testing.T) {
+	cases := []string{
+		"p(<X>) <- p(X). p(1).",                      // Russell (§2.3)
+		"even(s(X)) <- int(X), not even(X). int(0).", // §1 even
+		"p(X, Y) <- q(X).",                           // unsafe
+		"p(X) <- q(X)",                               // syntax
+	}
+	for _, src := range cases {
+		if _, err := New(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestEngineAddFactsAndDB(t *testing.T) {
+	eng, err := New(`anc(X, Y) <- parent(X, Y). anc(X, Y) <- parent(X, Z), anc(Z, Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddFacts("parent(a, b). parent(b, c)."); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddFacts("bad(X) <- parent(X, X)."); err == nil {
+		t.Error("AddFacts must reject rules")
+	}
+	eng.AddDB(workload.ParentChain(5))
+	m, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := m.Contains("anc(n0, n5)")
+	if !ok {
+		t.Error("workload facts not visible")
+	}
+	ok, _ = m.Contains("anc(a, c)")
+	if !ok {
+		t.Error("text facts not visible")
+	}
+	// Model memoization invalidates on new facts.
+	eng.AddFacts("parent(c, d).")
+	m2, _ := eng.Run()
+	if ok, _ := m2.Contains("anc(a, d)"); !ok {
+		t.Error("model not recomputed after AddFacts")
+	}
+}
+
+func TestEngineStrataAndPositive(t *testing.T) {
+	eng, err := New(`
+		a(X) <- e(X).
+		b(X) <- e(X), not a(X).
+		e(1).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Strata()
+	if !(st["a"] < st["b"]) {
+		t.Errorf("strata = %v", st)
+	}
+	if eng.IsPositive() {
+		t.Error("program with negation reported positive")
+	}
+	eng2, _ := New("p(X) <- q(X). q(1).")
+	if !eng2.IsPositive() {
+		t.Error("positive program misreported")
+	}
+}
+
+func TestEngineExplainQuery(t *testing.T) {
+	eng, err := New(`
+		anc(X, Y) <- par(X, Y).
+		anc(X, Y) <- par(X, Z), anc(Z, Y).
+		par(a, b).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adorned, rewritten, err := eng.ExplainQuery("anc(a, W)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(adorned, "anc^bf") {
+		t.Errorf("adorned = %s", adorned)
+	}
+	if !strings.Contains(rewritten, "magic__anc__bf(a).") {
+		t.Errorf("rewritten = %s", rewritten)
+	}
+}
+
+func TestTermConstructors(t *testing.T) {
+	s := SetOf(Num(2), Num(1), Num(2))
+	if s.String() != "{1, 2}" {
+		t.Errorf("SetOf = %s", s)
+	}
+	if !Equal(MustParseTerm("{1, 2}"), s) {
+		t.Error("ParseTerm and SetOf disagree")
+	}
+	f := Func("f", Sym("a"), Variable("X"), Text("hi"), EmptySet)
+	if f.String() != `f(a, X, "hi", {})` {
+		t.Errorf("Func = %s", f)
+	}
+	if Compare(Num(1), Num(2)) >= 0 {
+		t.Error("Compare order wrong")
+	}
+}
+
+func TestPartCostEndToEnd(t *testing.T) {
+	eng, err := New(`
+		part(P, <S>) <- p(P, S).
+		tc({X}, C) <- q(X, C).
+		tc({X}, C) <- part(X, S), tc(S, C).
+		tc(S, C) <- partition(S, S1, S2), tc(S1, C1), tc(S2, C2), C = C1 + C2.
+		result(X, C) <- tc(S, C), member(X, S), S = {X}.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.AddDB(workload.BOM(2, 2))
+	ans, err := eng.Query("result(1, C)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 1 {
+		t.Fatalf("root cost answers = %s", ans)
+	}
+	// Leaves are parts 4..7 with cost 10+id; root cost = sum = 62.
+	if got := ans.String(); got != "C = 62" {
+		t.Errorf("root cost = %q", got)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	eng, err := New(`
+		ancestor(X, Y) <- parent(X, Y).
+		ancestor(X, Y) <- parent(X, Z), ancestor(Z, Y).
+		parent(abe, bob). parent(bob, carl).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	why, err := eng.Explain("ancestor(abe, carl)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ancestor(abe, carl)", "parent(abe, bob)", "[fact]"} {
+		if !strings.Contains(why, want) {
+			t.Errorf("Explain missing %q:\n%s", want, why)
+		}
+	}
+	if _, err := eng.Explain("ancestor(carl, abe)"); err == nil {
+		t.Error("explaining an absent fact should fail")
+	}
+	if _, err := eng.Explain("not a fact"); err == nil {
+		t.Error("garbage input should fail")
+	}
+}
+
+func TestWithLimit(t *testing.T) {
+	eng, err := New(`
+		nat(z).
+		nat(s(X)) <- nat(X).
+	`, WithLimit(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err == nil {
+		t.Fatal("diverging program should hit the derivation limit")
+	}
+}
+
+func TestSupplementaryMagicOption(t *testing.T) {
+	src := `
+		anc(X, Y) <- par(X, Y).
+		anc(X, Y) <- par(X, Z), anc(Z, Y).
+		par(a, b). par(b, c). par(c, d).
+	`
+	base, err := New(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := New(src, WithSupplementaryMagic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Query("anc(a, W)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sup.Query("anc(a, W)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.String() != got.String() {
+		t.Errorf("supplementary magic differs:\n%s\nvs\n%s", got, want)
+	}
+}

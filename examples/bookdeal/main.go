@@ -1,0 +1,42 @@
+// Bookdeal: the §1 set-enumeration example — bundles of up to three book
+// titles whose total price stays under 100, with duplicate titles
+// eliminated during set construction (so singletons and doublets appear).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ldl1"
+)
+
+func main() {
+	eng, err := ldl1.New(`
+		book_deal({X, Y, Z}) <- book(X, Px), book(Y, Py), book(Z, Pz),
+		                        Px + Py + Pz < 100.
+
+		book(logic, 30). book(sets, 40). book(magic, 60).
+		book(datalog, 20). book(horn, 45).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := eng.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("book deals under 100:")
+	for _, f := range m.Facts("book_deal") {
+		fmt.Println(" ", f)
+	}
+
+	// Duplicate elimination in action: {logic} comes from X=Y=Z=logic.
+	for _, probe := range []string{"book_deal({logic})", "book_deal({magic})"} {
+		ok, err := m.Contains(probe)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s -> %v\n", probe, ok)
+	}
+}

@@ -1,0 +1,40 @@
+// Explain: derivation provenance — ask the engine WHY a fact is in the
+// minimal model and get a proof tree of rule instances down to the
+// extensional facts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ldl1"
+)
+
+func main() {
+	eng, err := ldl1.New(`
+		% §1 part-cost program
+		part(P, <S>) <- p(P, S).
+		tc({X}, C) <- q(X, C).
+		tc({X}, C) <- part(X, S), tc(S, C).
+		tc(S, C)  <- partition(S, S1, S2), tc(S1, C1), tc(S2, C2),
+		             C = C1 + C2.
+
+		p(1, 2). p(1, 7). p(2, 3). p(2, 4). p(3, 5). p(3, 6).
+		q(4, 20). q(5, 10). q(6, 15). q(7, 200).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, fact := range []string{
+		"part(1, {2, 7})",
+		"tc({3}, 25)",
+		"tc({1}, 245)",
+	} {
+		why, err := eng.Explain(fact)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("why %s?\n%s\n\n", fact, why)
+	}
+}

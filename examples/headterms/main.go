@@ -1,0 +1,56 @@
+// Headterms: the §4.2 LDL1.5 examples — complex head terms over the
+// relation r(Teacher, Student, Class, Day), compiled automatically into
+// core LDL1 by the Distribution / Grouping / Nesting rewrite rules.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ldl1"
+)
+
+const facts = `
+	r(t1, s1, c1, mon). r(t1, s1, c2, tue). r(t1, s2, c1, mon).
+	r(t2, s1, c3, wed).
+`
+
+func show(title, rule, pred string) {
+	eng, err := ldl1.New(facts + rule)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := eng.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(title)
+	for _, f := range m.Facts(pred) {
+		fmt.Println("  ", f)
+	}
+	fmt.Println()
+}
+
+func main() {
+	// §4.2 example 1: per teacher, their students and their teaching days.
+	show("(T, <S>, <D>) — distribution:",
+		"out(T, <S>, <D>) <- r(T, S, C, D).", "out")
+
+	// §4.2 example 2: per teacher, tuples of (student, days the student
+	// takes some class — with anyone).
+	show("(T, <h(S, <D>)>) — grouping over a tuple term:",
+		"out(T, <h(S, <D>)>) <- r(T, S, C, D).", "out")
+
+	// §4.2 example 3: per (teacher, student), tuples of (class, days the
+	// class is taught — by anyone).
+	show("((T, S), <(C, <D>)>) — nested key and nested grouping:",
+		"out((T, S), <(C, <D>)>) <- r(T, S, C, D).", "out")
+
+	// What the compiler produces for example 2:
+	eng, err := ldl1.New(facts + "out(T, <h(S, <D>)>) <- r(T, S, C, D).")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compiled core-LDL1 program for example 2:")
+	fmt.Println(eng.Program())
+}

@@ -1,0 +1,60 @@
+// Part-cost: the full §1 example of the LDL1 paper — set grouping,
+// enumerated sets, partition/union and recursion over sets compute the cost
+// of every part in a bill of materials.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ldl1"
+)
+
+func main() {
+	eng, err := ldl1.New(`
+		% group the immediate subparts of each part (§1)
+		part(P, <S>) <- p(P, S).
+
+		% tc(S, C): the set of parts S costs C in total
+		tc({X}, C) <- q(X, C).                 % elementary part
+		tc({X}, C) <- part(X, S), tc(S, C).    % aggregate part
+		tc(S, C)  <- partition(S, S1, S2), tc(S1, C1), tc(S2, C2),
+		             C = C1 + C2.
+
+		% the result selects singleton sets: one cost per part number
+		result(X, C) <- tc(S, C), member(X, S), S = {X}.
+
+		% the paper's base relations
+		p(1, 2). p(1, 7). p(2, 3). p(2, 4). p(3, 5). p(3, 6).
+		q(4, 20). q(5, 10). q(6, 15). q(7, 200).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m, err := eng.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("part relation (grouped subparts):")
+	for _, f := range m.Facts("part") {
+		fmt.Println(" ", f)
+	}
+
+	fmt.Println("\ntc tuples the paper quotes:")
+	for _, want := range []string{"tc({3}, 25)", "tc({2}, 45)", "tc({1}, 245)"} {
+		ok, err := m.Contains(want)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s present=%v\n", want, ok)
+	}
+
+	fmt.Println("\ncost of every part:")
+	ans, err := eng.Query("result(P, C)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ans)
+}

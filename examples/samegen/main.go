@@ -1,0 +1,72 @@
+// Samegen: the §6 running example — who is "young" (childless) and who
+// shares their generation — answered twice: by full bottom-up evaluation
+// and through the Generalized Magic Sets compiler, printing the §6
+// compilation artifacts along the way.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ldl1"
+)
+
+const program = `
+	% ancestor relation over the parent relation p
+	a(X, Y) <- p(X, Y).
+	a(X, Y) <- a(X, Z), a(Z, Y).
+
+	% same generation
+	sg(X, Y) <- siblings(X, Y).
+	sg(X, Y) <- p(Z1, X), sg(Z1, Z2), p(Z2, Y).
+
+	% young(X, S): X has no descendants and S is everyone in X's generation.
+	% (The paper writes "¬a(X, Z)" with Z free; hasdesc makes it safe.)
+	hasdesc(X) <- a(X, Z).
+	young(X, <Y>) <- sg(X, Y), not hasdesc(X).
+
+	p(adam, mary). p(adam, pat). p(mary, john). p(pat, jack).
+	p(mary, ann). p(ann, zoe).
+	siblings(mary, pat). siblings(pat, mary).
+`
+
+func main() {
+	baseline, err := ldl1.New(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var baseStats ldl1.Stats
+	withStats, err := ldl1.New(program, ldl1.WithStats(&baseStats))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ans, err := withStats.Query("young(john, S)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("?- young(john, S).   [full bottom-up]")
+	fmt.Println(ans)
+	fmt.Printf("facts derived: %d\n\n", baseStats.Derived)
+
+	var magicStats ldl1.Stats
+	magicEng, err := ldl1.New(program, ldl1.WithMagic(true), ldl1.WithStats(&magicStats))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mans, err := magicEng.Query("young(john, S)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("?- young(john, S).   [magic sets, §6]")
+	fmt.Println(mans)
+	fmt.Printf("facts derived: %d (same answers, a fraction of the work)\n\n", magicStats.Derived)
+
+	adorned, rewritten, err := baseline.ExplainQuery("young(john, S)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("adorned program (paper §6, rules 1-5):")
+	fmt.Println(adorned)
+	fmt.Println("magic-rewritten program (paper §6, rules 1'-11'):")
+	fmt.Println(rewritten)
+}

@@ -1,0 +1,45 @@
+package ldl1
+
+import (
+	"fmt"
+
+	"ldl1/internal/eval"
+	"ldl1/internal/parser"
+	"ldl1/internal/term"
+)
+
+// Explain returns a proof tree showing why a fact holds in the program's
+// minimal model: the rule instance that derived it and, recursively, the
+// derivations of the body facts it matched.  Returns an error if the fact
+// is not in the model.
+//
+//	why, _ := eng.Explain("ancestor(abe, carl)")
+//	fmt.Println(why)
+//	// ancestor(abe, carl)   [by ancestor(X, Y) <- parent(X, Z), ancestor(Z, Y).]
+//	//   parent(abe, bob).   [fact]
+//	//   ancestor(bob, carl)   [by ancestor(X, Y) <- parent(X, Y).]
+//	//     parent(bob, carl).   [fact]
+func (e *Engine) Explain(factSrc string) (string, error) {
+	p, err := parser.ParseProgram(factSrc + ".")
+	if err != nil {
+		return "", err
+	}
+	if len(p.Rules) != 1 || !p.Rules[0].IsFact() {
+		return "", fmt.Errorf("ldl1: %q is not a single fact", factSrc)
+	}
+	h := p.Rules[0].Head
+	f := term.NewFact(h.Pred, h.Args...)
+
+	prov := eval.NewProvenance()
+	db, err := eval.Eval(e.source, e.edb, eval.Options{
+		Strategy:   e.cfg.strategy,
+		Provenance: prov,
+	})
+	if err != nil {
+		return "", err
+	}
+	if !db.Contains(f) {
+		return "", fmt.Errorf("ldl1: %s is not in the model", f)
+	}
+	return prov.Explain(f), nil
+}

@@ -1,0 +1,3 @@
+module ldl1
+
+go 1.22

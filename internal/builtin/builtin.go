@@ -1,0 +1,445 @@
+// Package builtin evaluates the reserved LDL1 predicates: member/2,
+// union/3 (§2.2), the partition/3 helper the paper uses in the part-cost
+// example (§1), equality, disequality, and comparisons.
+//
+// Built-ins are moded: depending on which arguments are bound, a built-in
+// acts as a test or as a generator of bindings.  The evaluator's join
+// planner only schedules a built-in once one of its supported modes is
+// satisfied; calling one earlier yields ErrInstantiation.
+package builtin
+
+import (
+	"errors"
+	"fmt"
+
+	"ldl1/internal/ast"
+	"ldl1/internal/term"
+	"ldl1/internal/unify"
+)
+
+// ErrInstantiation reports that a built-in was invoked with too few bound
+// arguments for any of its modes.
+var ErrInstantiation = errors.New("insufficiently instantiated built-in call")
+
+// maxEnumerate caps the size of sets that union/partition will enumerate
+// splits of, to keep the exponential generator modes from running away.
+const maxEnumerate = 20
+
+// IsBuiltin reports whether pred is handled by this package.
+func IsBuiltin(pred string) bool {
+	switch pred {
+	case "member", "union", "partition", "set", "=", "/=", "<", "<=", ">", ">=", "true", "false":
+		return true
+	}
+	return false
+}
+
+// Eval evaluates the built-in literal under the bindings, invoking yield
+// once per solution with b extended (bindings are undone between solutions
+// and before returning).  A negated literal is evaluated as a test: all its
+// variables must be bound, and it succeeds iff the positive form fails.
+func Eval(l ast.Literal, b *unify.Bindings, yield func() error) error {
+	if l.Negated {
+		pos := l.Positive()
+		holds := false
+		probe := func() error {
+			holds = true
+			return errStop
+		}
+		if err := Eval(pos, b, probe); err != nil && err != errStop {
+			return err
+		}
+		if !holds {
+			return yield()
+		}
+		return nil
+	}
+	switch l.Pred {
+	case "true":
+		return yield()
+	case "false":
+		return nil
+	case "=":
+		return evalEq(l, b, yield)
+	case "/=":
+		return evalNeq(l, b, yield)
+	case "<", "<=", ">", ">=":
+		return evalCompare(l, b, yield)
+	case "member":
+		return evalMember(l, b, yield)
+	case "set":
+		return evalSet(l, b, yield)
+	case "union":
+		return evalUnion(l, b, yield)
+	case "partition":
+		return evalPartition(l, b, yield)
+	}
+	return fmt.Errorf("builtin: unknown predicate %s/%d", l.Pred, l.Arity())
+}
+
+// errStop aborts enumeration early (internal sentinel).
+var errStop = errors.New("stop")
+
+// Holds evaluates a fully bound built-in literal as a boolean test.
+func Holds(l ast.Literal, b *unify.Bindings) (bool, error) {
+	holds := false
+	err := Eval(l, b, func() error {
+		holds = true
+		return errStop
+	})
+	if err != nil && err != errStop {
+		return false, err
+	}
+	return holds, nil
+}
+
+func arity(l ast.Literal, n int) error {
+	if len(l.Args) != n {
+		return fmt.Errorf("builtin: %s expects %d arguments, got %d", l.Pred, n, len(l.Args))
+	}
+	return nil
+}
+
+func evalEq(l ast.Literal, b *unify.Bindings, yield func() error) error {
+	if err := arity(l, 2); err != nil {
+		return err
+	}
+	lhs := unify.ApplyPartial(l.Args[0], b)
+	rhs := unify.ApplyPartial(l.Args[1], b)
+	lg, rg := term.IsGround(lhs), term.IsGround(rhs)
+	switch {
+	case lg && rg:
+		lv, err := unify.Apply(lhs, b)
+		if err != nil {
+			return nil // outside U: "=" is false (§2.2)
+		}
+		rv, err := unify.Apply(rhs, b)
+		if err != nil {
+			return nil
+		}
+		if term.Equal(lv, rv) {
+			return yield()
+		}
+		return nil
+	case rg:
+		rv, err := unify.Apply(rhs, b)
+		if err != nil {
+			return nil
+		}
+		return matchYield(lhs, rv, b, yield)
+	case lg:
+		lv, err := unify.Apply(lhs, b)
+		if err != nil {
+			return nil
+		}
+		return matchYield(rhs, lv, b, yield)
+	}
+	return fmt.Errorf("%w: %s with both sides non-ground", ErrInstantiation, l)
+}
+
+func matchYield(pattern term.Term, value term.Term, b *unify.Bindings, yield func() error) error {
+	mark := b.Mark()
+	if unify.Match(pattern, value, b) {
+		err := yield()
+		b.Undo(mark)
+		return err
+	}
+	return nil
+}
+
+func evalNeq(l ast.Literal, b *unify.Bindings, yield func() error) error {
+	if err := arity(l, 2); err != nil {
+		return err
+	}
+	lv, err := unify.Apply(l.Args[0], b)
+	if err != nil {
+		if errors.Is(err, unify.ErrUnbound) {
+			return fmt.Errorf("%w: %s", ErrInstantiation, l)
+		}
+		// Outside U: /= is true (§2.2).
+		return yield()
+	}
+	rv, err := unify.Apply(l.Args[1], b)
+	if err != nil {
+		if errors.Is(err, unify.ErrUnbound) {
+			return fmt.Errorf("%w: %s", ErrInstantiation, l)
+		}
+		return yield()
+	}
+	if !term.Equal(lv, rv) {
+		return yield()
+	}
+	return nil
+}
+
+func evalCompare(l ast.Literal, b *unify.Bindings, yield func() error) error {
+	if err := arity(l, 2); err != nil {
+		return err
+	}
+	lv, err := unify.Apply(l.Args[0], b)
+	if err != nil {
+		if errors.Is(err, unify.ErrUnbound) {
+			return fmt.Errorf("%w: %s", ErrInstantiation, l)
+		}
+		return nil
+	}
+	rv, err := unify.Apply(l.Args[1], b)
+	if err != nil {
+		if errors.Is(err, unify.ErrUnbound) {
+			return fmt.Errorf("%w: %s", ErrInstantiation, l)
+		}
+		return nil
+	}
+	c := term.Compare(lv, rv)
+	ok := false
+	switch l.Pred {
+	case "<":
+		ok = c < 0
+	case "<=":
+		ok = c <= 0
+	case ">":
+		ok = c > 0
+	case ">=":
+		ok = c >= 0
+	}
+	if ok {
+		return yield()
+	}
+	return nil
+}
+
+// evalSet tests whether its single (bound) argument is a set.
+func evalSet(l ast.Literal, b *unify.Bindings, yield func() error) error {
+	if err := arity(l, 1); err != nil {
+		return err
+	}
+	v, err := unify.Apply(l.Args[0], b)
+	if err != nil {
+		if errors.Is(err, unify.ErrUnbound) {
+			return fmt.Errorf("%w: %s", ErrInstantiation, l)
+		}
+		return nil
+	}
+	if _, ok := v.(*term.Set); ok {
+		return yield()
+	}
+	return nil
+}
+
+func evalMember(l ast.Literal, b *unify.Bindings, yield func() error) error {
+	if err := arity(l, 2); err != nil {
+		return err
+	}
+	sv := unify.ApplyPartial(l.Args[1], b)
+	if !term.IsGround(sv) {
+		return fmt.Errorf("%w: member with unbound set argument: %s", ErrInstantiation, l)
+	}
+	sval, err := unify.Apply(sv, b)
+	if err != nil {
+		return nil
+	}
+	set, ok := sval.(*term.Set)
+	if !ok {
+		// member is false when the second argument is not a set (§2.2).
+		return nil
+	}
+	elemPat := l.Args[0]
+	for _, e := range set.Elems() {
+		if err := matchYield(elemPat, e, b, yield); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// groundSet applies bindings to an argument and returns the set value, or
+// (nil, false) if the argument is non-ground or not a set.
+func groundSet(arg term.Term, b *unify.Bindings) (*term.Set, bool, error) {
+	t := unify.ApplyPartial(arg, b)
+	if !term.IsGround(t) {
+		return nil, false, nil
+	}
+	v, err := unify.Apply(t, b)
+	if err != nil {
+		return nil, false, nil
+	}
+	s, ok := v.(*term.Set)
+	if !ok {
+		return nil, false, errNotASet
+	}
+	return s, true, nil
+}
+
+var errNotASet = errors.New("argument is not a set")
+
+func evalUnion(l ast.Literal, b *unify.Bindings, yield func() error) error {
+	if err := arity(l, 3); err != nil {
+		return err
+	}
+	s1, ok1, err1 := groundSet(l.Args[0], b)
+	s2, ok2, err2 := groundSet(l.Args[1], b)
+	s3, ok3, err3 := groundSet(l.Args[2], b)
+	// union is false when a bound argument is not a set (§2.2).
+	if err1 == errNotASet || err2 == errNotASet || err3 == errNotASet {
+		return nil
+	}
+	switch {
+	case ok1 && ok2:
+		// Compute S1 ∪ S2 and match the third argument.
+		return matchYield(l.Args[2], s1.Union(s2), b, yield)
+	case ok3 && ok1:
+		// Enumerate S2 with S1 ∪ S2 = S3: S2 ⊇ S3\S1, extended by any
+		// subset of S1 ∩ S3.
+		if !s1.SubsetOf(s3) {
+			return nil
+		}
+		base := s3.Difference(s1)
+		return enumSubsets(s1.Intersect(s3), func(sub *term.Set) error {
+			return matchYield(l.Args[1], base.Union(sub), b, yield)
+		})
+	case ok3 && ok2:
+		if !s2.SubsetOf(s3) {
+			return nil
+		}
+		base := s3.Difference(s2)
+		return enumSubsets(s2.Intersect(s3), func(sub *term.Set) error {
+			return matchYield(l.Args[0], base.Union(sub), b, yield)
+		})
+	case ok3:
+		// Enumerate all pairs (S1, S2) with S1 ∪ S2 = S3: every element
+		// of S3 goes to S1, to S2, or to both.
+		if s3.Len() > maxEnumerate {
+			return fmt.Errorf("builtin: refusing to enumerate unions of a set with %d elements", s3.Len())
+		}
+		return enumThreeWay(s3.Elems(), func(left, right []term.Term) error {
+			mark := b.Mark()
+			if unify.Match(l.Args[0], term.NewSet(left...), b) {
+				if unify.Match(l.Args[1], term.NewSet(right...), b) {
+					if err := yield(); err != nil {
+						b.Undo(mark)
+						return err
+					}
+				}
+			}
+			b.Undo(mark)
+			return nil
+		})
+	}
+	return fmt.Errorf("%w: %s", ErrInstantiation, l)
+}
+
+// enumSubsets enumerates every subset of s.
+func enumSubsets(s *term.Set, fn func(*term.Set) error) error {
+	elems := s.Elems()
+	if len(elems) > maxEnumerate {
+		return fmt.Errorf("builtin: refusing to enumerate subsets of a set with %d elements", len(elems))
+	}
+	n := uint(len(elems))
+	for mask := uint64(0); mask < 1<<n; mask++ {
+		var sub []term.Term
+		for i := uint(0); i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, elems[i])
+			}
+		}
+		if err := fn(term.NewSet(sub...)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// enumThreeWay assigns each element to left, right, or both.
+func enumThreeWay(elems []term.Term, fn func(left, right []term.Term) error) error {
+	assign := make([]int, len(elems))
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(elems) {
+			var left, right []term.Term
+			for j, a := range assign {
+				if a == 0 || a == 2 {
+					left = append(left, elems[j])
+				}
+				if a == 1 || a == 2 {
+					right = append(right, elems[j])
+				}
+			}
+			return fn(left, right)
+		}
+		for a := 0; a < 3; a++ {
+			assign[i] = a
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// evalPartition implements partition(S, S1, S2): S is the disjoint union of
+// S1 and S2.  Modes:
+//
+//	(f,b,b) — test disjointness and compute S := S1 ∪ S2 (the mode used by
+//	          bottom-up evaluation of the §1 part-cost program);
+//	(b,b,f) and (b,f,b) — compute the complement;
+//	(b,f,f) — enumerate all splits into two non-empty disjoint parts (the
+//	          non-empty requirement makes top-down recursion well-founded).
+func evalPartition(l ast.Literal, b *unify.Bindings, yield func() error) error {
+	if err := arity(l, 3); err != nil {
+		return err
+	}
+	s, okS, errS := groundSet(l.Args[0], b)
+	s1, ok1, err1 := groundSet(l.Args[1], b)
+	s2, ok2, err2 := groundSet(l.Args[2], b)
+	if errS == errNotASet || err1 == errNotASet || err2 == errNotASet {
+		return nil
+	}
+	switch {
+	case ok1 && ok2:
+		if !s1.Disjoint(s2) {
+			return nil
+		}
+		return matchYield(l.Args[0], s1.Union(s2), b, yield)
+	case okS && ok1:
+		if !s1.SubsetOf(s) {
+			return nil
+		}
+		return matchYield(l.Args[2], s.Difference(s1), b, yield)
+	case okS && ok2:
+		if !s2.SubsetOf(s) {
+			return nil
+		}
+		return matchYield(l.Args[1], s.Difference(s2), b, yield)
+	case okS:
+		elems := s.Elems()
+		if len(elems) > maxEnumerate {
+			return fmt.Errorf("builtin: refusing to enumerate partitions of a set with %d elements", len(elems))
+		}
+		if len(elems) < 2 {
+			return nil // no split into two non-empty parts
+		}
+		n := uint(len(elems))
+		for mask := uint64(1); mask < 1<<n-1; mask++ {
+			var left, right []term.Term
+			for i := uint(0); i < n; i++ {
+				if mask&(1<<i) != 0 {
+					left = append(left, elems[i])
+				} else {
+					right = append(right, elems[i])
+				}
+			}
+			mark := b.Mark()
+			if unify.Match(l.Args[1], term.NewSet(left...), b) &&
+				unify.Match(l.Args[2], term.NewSet(right...), b) {
+				if err := yield(); err != nil {
+					b.Undo(mark)
+					return err
+				}
+			}
+			b.Undo(mark)
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: %s", ErrInstantiation, l)
+}

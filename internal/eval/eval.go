@@ -1,0 +1,631 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+
+	"ldl1/internal/ast"
+	"ldl1/internal/builtin"
+	"ldl1/internal/layering"
+	"ldl1/internal/store"
+	"ldl1/internal/term"
+	"ldl1/internal/unify"
+)
+
+// Strategy selects the fixpoint algorithm within a layer.
+type Strategy int
+
+// Evaluation strategies.
+const (
+	// SemiNaive evaluates recursive rules against delta relations
+	// (facts new in the previous iteration), the standard optimisation
+	// of the naive R_i(M) iteration.
+	SemiNaive Strategy = iota
+	// Naive re-applies every rule to the whole database each iteration,
+	// the literal R_{i+1}(M) = ∪ r(R_i(M)) ∪ R_i(M) of §3.2.
+	Naive
+)
+
+// Stats collects evaluation counters.
+type Stats struct {
+	// Iterations counts inner fixpoint iterations across all layers.
+	Iterations int
+	// Derived counts facts newly added by rule application.
+	Derived int
+	// Firings counts successful rule-body solutions (including ones
+	// whose head fact already existed).
+	Firings int
+}
+
+// Options configures evaluation.
+type Options struct {
+	Strategy Strategy
+	Stats    *Stats
+	// Provenance, when non-nil, records a Derivation for every fact the
+	// evaluation adds (including program facts), enabling Explain.
+	Provenance *Provenance
+	// MaxDerived, when positive, bounds the number of derived facts;
+	// exceeding it aborts evaluation with a LimitError.  Useful as a
+	// termination guard for programs whose function symbols can generate
+	// unbounded terms (the LDL1 universe U is infinite).
+	MaxDerived int
+	// Workers, when > 1, evaluates the rule applications of each fixpoint
+	// round concurrently (derivations are buffered and merged between
+	// rounds, so the computed model is unchanged).  Ignored when
+	// Provenance is set.
+	Workers int
+}
+
+// LimitError reports that evaluation exceeded Options.MaxDerived.
+type LimitError struct {
+	Limit int
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("eval: derivation limit of %d facts exceeded; the program may not terminate bottom-up", e.Limit)
+}
+
+// Eval computes the standard minimal model M_n of the admissible program P
+// with respect to the U-facts in edb (Theorem 1): facts are added to a copy
+// of edb, then each layer L_i is evaluated to its fixpoint M_i = L_i(M_{i-1}).
+// The input database is not modified.
+func Eval(p *ast.Program, edb *store.DB, opts Options) (*store.DB, error) {
+	if err := ast.CheckWellFormed(p); err != nil {
+		return nil, err
+	}
+	lay, err := layering.Stratify(p)
+	if err != nil {
+		return nil, err
+	}
+	db := edb.Clone()
+	if err := EvalGroups(lay.Rules, db, opts); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// EvalGroups evaluates rule groups in order, each to its fixpoint, against
+// db (mutated in place).  Facts from every group are inserted first.  This
+// is the layer-by-layer engine behind Eval; the magic-sets evaluator uses
+// it directly with its own (non-admissible) group assignment, so no
+// admissibility check is performed here.
+func EvalGroups(groups [][]ast.Rule, db *store.DB, opts Options) error {
+	for _, rules := range groups {
+		for _, r := range rules {
+			if !r.IsFact() {
+				continue
+			}
+			f, err := factOfRule(r)
+			if err != nil {
+				return err
+			}
+			if db.Insert(f) && opts.Provenance != nil {
+				opts.Provenance.record(&Derivation{Fact: f})
+			}
+		}
+	}
+	workers := opts.Workers
+	if opts.Provenance != nil {
+		workers = 1
+	}
+	ex := &exec{db: db, stats: opts.Stats, prov: opts.Provenance, deltaSlot: -1, maxDerived: opts.MaxDerived, workers: workers}
+	for _, rules := range groups {
+		if err := ex.evalLayer(rules, opts.Strategy); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PlanBody exposes the join planner: it orders the rule's body literals for
+// left-to-right execution, optionally forcing one literal first and seeding
+// the bound-variable set.  Used by the magic-sets compiler to derive
+// default sideways information passing strategies (§6).
+func PlanBody(r ast.Rule, forcedFirst int, preBound map[term.Var]bool) ([]int, error) {
+	return planBody(r, forcedFirst, preBound)
+}
+
+// applyHead evaluates the rule head under the bindings; a nil fact with a
+// nil error means the binding is not applicable (head outside U, §3.2).
+func applyHead(r ast.Rule, b *unify.Bindings) (*term.Fact, error) {
+	f, err := unify.ApplyLit(r.Head, b)
+	if err != nil {
+		if errors.Is(err, unify.ErrOutsideU) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("rule %q: %w", r.String(), err)
+	}
+	return f, nil
+}
+
+func newBindings() *unify.Bindings { return unify.NewBindings() }
+
+func factOfRule(r ast.Rule) (*term.Fact, error) {
+	b := unify.NewBindings()
+	f, err := unify.ApplyLit(r.Head, b)
+	if err != nil {
+		return nil, fmt.Errorf("fact %q: %w", r.Head.String(), err)
+	}
+	return f, nil
+}
+
+// exec is the evaluation context for one database.
+type exec struct {
+	db    *store.DB
+	stats *Stats
+	prov  *Provenance
+	// delta, when non-nil, restricts one designated body occurrence to
+	// the facts derived in the previous iteration.
+	delta     *store.Relation
+	deltaSlot int // index into the execution order, -1 when unused
+	// trail holds the database facts matched by the literals of the
+	// current join, for provenance.
+	trail []*term.Fact
+	// derivation limit bookkeeping.
+	maxDerived int
+	derived    int
+	// workers > 1 enables parallel rounds.
+	workers int
+}
+
+func (ex *exec) bumpIter() {
+	if ex.stats != nil {
+		ex.stats.Iterations++
+	}
+}
+
+// evalLayer computes the fixpoint of one layer: grouping rules are applied
+// once against the layer input (their bodies mention only lower layers, see
+// Lemma 3.2.3), then the remaining rules run to fixpoint.
+func (ex *exec) evalLayer(rules []ast.Rule, strat Strategy) error {
+	var grouping, simple []ast.Rule
+	for _, r := range rules {
+		if r.IsFact() {
+			continue // already inserted
+		}
+		if r.IsGroupingRule() {
+			grouping = append(grouping, r)
+		} else {
+			simple = append(simple, r)
+		}
+	}
+	for _, r := range grouping {
+		if err := ex.applyGroupingRule(r); err != nil {
+			return err
+		}
+	}
+	if len(simple) == 0 {
+		return nil
+	}
+	if strat == Naive {
+		return ex.naiveFixpoint(simple)
+	}
+	return ex.semiNaiveFixpoint(simple)
+}
+
+func (ex *exec) naiveFixpoint(rules []ast.Rule) error {
+	plans := make([][]int, len(rules))
+	for i, r := range rules {
+		order, err := planBody(r, -1, nil)
+		if err != nil {
+			return err
+		}
+		plans[i] = order
+	}
+	for {
+		ex.bumpIter()
+		changed := false
+		if ex.workers > 1 {
+			tasks := make([]ruleTask, len(rules))
+			for i, r := range rules {
+				tasks[i] = ruleTask{rule: r, order: plans[i], deltaSlot: -1}
+			}
+			facts, err := ex.runParallelRound(tasks, ex.workers)
+			if err != nil {
+				return err
+			}
+			if ex.mergeRound(facts, nil) > 0 {
+				changed = true
+			}
+			if ex.maxDerived > 0 && ex.db.Len() > ex.maxDerived {
+				return &LimitError{Limit: ex.maxDerived}
+			}
+		} else {
+			for i, r := range rules {
+				n, err := ex.applyRule(r, plans[i], nil)
+				if err != nil {
+					return err
+				}
+				if n > 0 {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+}
+
+// variant is a semi-naive rule variant: the rule with one recursive body
+// occurrence designated as the delta occurrence.
+type variant struct {
+	rule  ast.Rule
+	dLit  int   // body literal index bound to the delta relation
+	order []int // execution order with dLit first
+}
+
+func (ex *exec) semiNaiveFixpoint(rules []ast.Rule) error {
+	// Predicates defined in this layer (the recursive candidates).
+	layerPreds := map[string]bool{}
+	for _, r := range rules {
+		layerPreds[r.Head.Pred] = true
+	}
+	var base []variant    // non-recursive rules, run once
+	var recvars []variant // delta variants, run every iteration
+	for _, r := range rules {
+		rec := false
+		for i, l := range r.Body {
+			if !l.Negated && layerPreds[l.Pred] {
+				order, err := planBody(r, i, nil)
+				if err != nil {
+					return err
+				}
+				recvars = append(recvars, variant{rule: r, dLit: i, order: order})
+				rec = true
+			}
+		}
+		if !rec {
+			order, err := planBody(r, -1, nil)
+			if err != nil {
+				return err
+			}
+			base = append(base, variant{rule: r, dLit: -1, order: order})
+		}
+	}
+
+	// Round 0: apply every rule once against the full database, recording
+	// the new facts as the first delta.
+	delta := map[string]*store.Relation{}
+	record := func(f *term.Fact) {
+		rel, ok := delta[f.Pred]
+		if !ok {
+			rel = store.NewRelation(f.Pred, ex.db.UseIndexes)
+			delta[f.Pred] = rel
+		}
+		rel.Insert(f)
+	}
+	ex.bumpIter()
+	var round0 []ruleTask
+	seen := map[string]bool{} // rule identity de-dup for round 0
+	for _, v := range base {
+		round0 = append(round0, ruleTask{rule: v.rule, order: v.order, deltaSlot: -1})
+	}
+	for _, v := range recvars {
+		key := v.rule.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		order, err := planBody(v.rule, -1, nil)
+		if err != nil {
+			return err
+		}
+		round0 = append(round0, ruleTask{rule: v.rule, order: order, deltaSlot: -1})
+	}
+	if ex.workers > 1 {
+		facts, err := ex.runParallelRound(round0, ex.workers)
+		if err != nil {
+			return err
+		}
+		ex.mergeRound(facts, record)
+	} else {
+		for _, t := range round0 {
+			if _, err := ex.applyRule(t.rule, t.order, record); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Iterate: each round consumes the previous delta.
+	for len(delta) > 0 {
+		ex.bumpIter()
+		next := map[string]*store.Relation{}
+		recordNext := func(f *term.Fact) {
+			rel, ok := next[f.Pred]
+			if !ok {
+				rel = store.NewRelation(f.Pred, ex.db.UseIndexes)
+				next[f.Pred] = rel
+			}
+			rel.Insert(f)
+		}
+		if ex.workers > 1 {
+			var tasks []ruleTask
+			for _, v := range recvars {
+				d, ok := delta[v.rule.Body[v.dLit].Pred]
+				if !ok || d.Len() == 0 {
+					continue
+				}
+				// Split large deltas into per-worker chunks so a single
+				// wide round parallelizes within one rule as well.
+				for _, chunk := range chunkRelation(d, ex.workers, ex.db.UseIndexes) {
+					tasks = append(tasks, ruleTask{rule: v.rule, order: v.order, delta: chunk, deltaSlot: v.dLit})
+				}
+			}
+			facts, err := ex.runParallelRound(tasks, ex.workers)
+			if err != nil {
+				return err
+			}
+			ex.mergeRound(facts, recordNext)
+			if ex.maxDerived > 0 && ex.db.Len() > ex.maxDerived {
+				return &LimitError{Limit: ex.maxDerived}
+			}
+		} else {
+			for _, v := range recvars {
+				d, ok := delta[v.rule.Body[v.dLit].Pred]
+				if !ok || d.Len() == 0 {
+					continue
+				}
+				ex.delta = d
+				ex.deltaSlot = v.dLit
+				_, err := ex.applyRule(v.rule, v.order, recordNext)
+				ex.delta = nil
+				ex.deltaSlot = -1
+				if err != nil {
+					return err
+				}
+			}
+		}
+		delta = next
+		empty := true
+		for _, rel := range delta {
+			if rel.Len() > 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			break
+		}
+	}
+	return nil
+}
+
+// applyRule evaluates the body of a non-grouping rule in the given literal
+// order and inserts head facts; onNew is invoked for each genuinely new
+// fact.  It returns the number of new facts.
+func (ex *exec) applyRule(r ast.Rule, order []int, onNew func(*term.Fact)) (int, error) {
+	b := unify.NewBindings()
+	added := 0
+	err := ex.join(r.Body, order, 0, b, func() error {
+		if ex.stats != nil {
+			ex.stats.Firings++
+		}
+		f, err := unify.ApplyLit(r.Head, b)
+		if err != nil {
+			if errors.Is(err, unify.ErrOutsideU) {
+				return nil // binding not applicable (§3.2)
+			}
+			return fmt.Errorf("rule %q: %w", r.String(), err)
+		}
+		if ex.db.Insert(f) {
+			added++
+			ex.derived++
+			if ex.maxDerived > 0 && ex.derived > ex.maxDerived {
+				return &LimitError{Limit: ex.maxDerived}
+			}
+			if ex.stats != nil {
+				ex.stats.Derived++
+			}
+			if ex.prov != nil {
+				prem := make([]*term.Fact, len(ex.trail))
+				copy(prem, ex.trail)
+				ex.prov.record(&Derivation{Fact: f, Rule: r.String(), Premises: prem})
+			}
+			if onNew != nil {
+				onNew(f)
+			}
+		}
+		return nil
+	})
+	return added, err
+}
+
+// join enumerates all bindings satisfying body literals order[step:].
+func (ex *exec) join(body []ast.Literal, order []int, step int, b *unify.Bindings, yield func() error) error {
+	if step == len(order) {
+		return yield()
+	}
+	idx := order[step]
+	l := body[idx]
+	cont := func() error { return ex.join(body, order, step+1, b, yield) }
+
+	if layering.IsBuiltin(l.Pred) {
+		return builtin.Eval(l, b, cont)
+	}
+	if l.Negated {
+		f, err := unify.ApplyLit(l.Positive(), b)
+		if err != nil {
+			if errors.Is(err, unify.ErrOutsideU) {
+				// A negated predicate on an object outside U is false,
+				// so its negation holds (§2.2 built-in restrictions).
+				return cont()
+			}
+			return fmt.Errorf("negated literal %q: %w", l.String(), err)
+		}
+		if ex.db.Contains(f) {
+			return nil
+		}
+		return cont()
+	}
+
+	rel := ex.relFor(idx, l.Pred)
+	candidates := ex.candidates(rel, l, b)
+	for _, f := range candidates {
+		mark := b.Mark()
+		if unify.MatchFact(l, f, b) {
+			if ex.prov != nil {
+				ex.trail = append(ex.trail, f)
+			}
+			err := cont()
+			if ex.prov != nil {
+				ex.trail = ex.trail[:len(ex.trail)-1]
+			}
+			if err != nil {
+				b.Undo(mark)
+				return err
+			}
+			b.Undo(mark)
+		}
+	}
+	return nil
+}
+
+func (ex *exec) relFor(litIdx int, pred string) *store.Relation {
+	if ex.delta != nil && litIdx == ex.deltaSlot {
+		return ex.delta
+	}
+	return ex.db.Rel(pred)
+}
+
+// candidates narrows the fact scan using a hash index on the first argument
+// position whose pattern is fully bound.
+func (ex *exec) candidates(rel *store.Relation, l ast.Literal, b *unify.Bindings) []*term.Fact {
+	for col, a := range l.Args {
+		pat := unify.ApplyPartial(a, b)
+		if term.IsGround(pat) {
+			v, err := unify.Apply(pat, b)
+			if err != nil {
+				return nil // argument outside U never matches
+			}
+			return rel.Lookup(col, v)
+		}
+	}
+	return rel.All()
+}
+
+// applyGroupingRule evaluates a rule whose head has a grouping argument
+// <Y>: the body is evaluated as for the groupless rule r⁻, solutions are
+// partitioned into ≡-equivalence classes by the interpretation of the
+// non-grouped head terms, and each class contributes one head fact whose
+// grouped argument is the (finite, non-empty) set of Y values (§3.2).
+func (ex *exec) applyGroupingRule(r ast.Rule) error {
+	gIdx, inner := r.Head.GroupArg()
+	if gIdx < 0 {
+		return fmt.Errorf("eval: applyGroupingRule on non-grouping rule %q", r.String())
+	}
+	yVar, ok := inner.(term.Var)
+	if !ok {
+		return fmt.Errorf("eval: grouping over non-variable term <%s>; rewrite LDL1.5 heads first", inner)
+	}
+	order, err := planBody(r, -1, nil)
+	if err != nil {
+		return err
+	}
+	type class struct {
+		args  []term.Term // head args with nil at the group position
+		elems []term.Term // collected Y values (deduplicated by NewSet)
+		prems []*term.Fact
+		seen  map[string]bool
+	}
+	classes := map[string]*class{}
+	var classOrder []string
+
+	b := unify.NewBindings()
+	err = ex.join(r.Body, order, 0, b, func() error {
+		if ex.stats != nil {
+			ex.stats.Firings++
+		}
+		args := make([]term.Term, len(r.Head.Args))
+		key := ""
+		for i, a := range r.Head.Args {
+			if i == gIdx {
+				continue
+			}
+			v, err := unify.Apply(a, b)
+			if err != nil {
+				if errors.Is(err, unify.ErrOutsideU) {
+					return nil
+				}
+				return err
+			}
+			args[i] = v
+			key += v.Key() + "\x00"
+		}
+		y, err := unify.Apply(yVar, b)
+		if err != nil {
+			if errors.Is(err, unify.ErrOutsideU) {
+				return nil
+			}
+			return err
+		}
+		c, ok := classes[key]
+		if !ok {
+			c = &class{args: args}
+			if ex.prov != nil {
+				c.seen = map[string]bool{}
+			}
+			classes[key] = c
+			classOrder = append(classOrder, key)
+		}
+		c.elems = append(c.elems, y)
+		if ex.prov != nil {
+			for _, f := range ex.trail {
+				if !c.seen[f.Key()] {
+					c.seen[f.Key()] = true
+					c.prems = append(c.prems, f)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, key := range classOrder {
+		c := classes[key]
+		args := make([]term.Term, len(c.args))
+		copy(args, c.args)
+		args[gIdx] = term.NewSet(c.elems...)
+		f := term.NewFact(r.Head.Pred, args...)
+		if ex.db.Insert(f) {
+			if ex.stats != nil {
+				ex.stats.Derived++
+			}
+			if ex.prov != nil {
+				ex.prov.record(&Derivation{Fact: f, Rule: r.String(), Premises: c.prems, Grouped: true})
+			}
+		}
+	}
+	return nil
+}
+
+// Solve evaluates a conjunctive query body against a database, returning
+// one binding snapshot per solution (restricted to the query's variables).
+func Solve(body []ast.Literal, db *store.DB) ([]map[term.Var]term.Term, error) {
+	r := ast.Rule{Head: ast.NewLit("$query"), Body: body}
+	order, err := planBody(r, -1, nil)
+	if err != nil {
+		return nil, err
+	}
+	ex := &exec{db: db, deltaSlot: -1}
+	var out []map[term.Var]term.Term
+	seen := map[string]bool{}
+	vars := r.Vars()
+	b := unify.NewBindings()
+	err = ex.join(body, order, 0, b, func() error {
+		key := ""
+		for _, v := range vars {
+			if t, ok := b.Lookup(v); ok {
+				key += string(v) + "=" + t.Key() + "\x00"
+			}
+		}
+		if seen[key] {
+			return nil
+		}
+		seen[key] = true
+		out = append(out, b.Snapshot())
+		return nil
+	})
+	return out, err
+}

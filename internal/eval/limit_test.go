@@ -1,0 +1,43 @@
+package eval
+
+import (
+	"errors"
+	"testing"
+
+	"ldl1/internal/parser"
+	"ldl1/internal/store"
+)
+
+func TestDerivationLimit(t *testing.T) {
+	// Counting upward with a function symbol never terminates bottom-up
+	// (U is infinite); the guard turns divergence into an error.
+	p := parser.MustParseProgram(`
+		nat(z).
+		nat(s(X)) <- nat(X).
+	`)
+	_, err := Eval(p, store.NewDB(), Options{MaxDerived: 100})
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("expected LimitError, got %v", err)
+	}
+	if le.Limit != 100 {
+		t.Errorf("limit = %d", le.Limit)
+	}
+	// A terminating program under a generous limit is unaffected.
+	q := parser.MustParseProgram(`
+		anc(X, Y) <- par(X, Y).
+		anc(X, Y) <- par(X, Z), anc(Z, Y).
+		par(a, b). par(b, c).
+	`)
+	db, err := Eval(q, store.NewDB(), Options{MaxDerived: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Rel("anc").Len() != 3 {
+		t.Errorf("anc = %d", db.Rel("anc").Len())
+	}
+	// Zero means unlimited.
+	if _, err := Eval(q, store.NewDB(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package eval
+
+import (
+	"sync"
+
+	"ldl1/internal/ast"
+	"ldl1/internal/store"
+	"ldl1/internal/term"
+)
+
+// Parallel evaluation: within one fixpoint round, rule (variant)
+// applications only read the database, so they can run concurrently,
+// deriving into private buffers that are merged single-threaded between
+// rounds.  The round structure — and therefore the computed model — is
+// identical to the sequential naive/semi-naive algorithms.
+//
+// Provenance recording forces sequential evaluation (the derivation trail
+// is per-join state that the merge phase cannot reconstruct).
+
+// ruleTask is one rule application scheduled for a parallel round.
+type ruleTask struct {
+	rule      ast.Rule
+	order     []int
+	delta     *store.Relation // nil for full-relation evaluation
+	deltaSlot int
+}
+
+// runParallelRound evaluates the tasks concurrently and returns the facts
+// they derive (not yet in db), deduplicated.
+func (ex *exec) runParallelRound(tasks []ruleTask, workers int) ([]*term.Fact, error) {
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	type result struct {
+		facts   []*term.Fact
+		firings int
+		err     error
+	}
+	results := make([]result, len(tasks))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range tasks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t := tasks[i]
+			w := &exec{db: ex.db, delta: t.delta, deltaSlot: t.deltaSlot, maxDerived: 0}
+			facts, firings, err := w.collectRule(t.rule, t.order)
+			results[i] = result{facts: facts, firings: firings, err: err}
+		}(i)
+	}
+	wg.Wait()
+
+	var out []*term.Fact
+	seen := map[string]bool{}
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		if ex.stats != nil {
+			ex.stats.Firings += r.firings
+		}
+		for _, f := range r.facts {
+			if !seen[f.Key()] && !ex.db.Contains(f) {
+				seen[f.Key()] = true
+				out = append(out, f)
+			}
+		}
+	}
+	return out, nil
+}
+
+// collectRule is applyRule without database mutation: derived facts are
+// returned instead of inserted.  Grouping rules are not scheduled in
+// parallel rounds (they run once at layer entry).
+func (ex *exec) collectRule(r ast.Rule, order []int) ([]*term.Fact, int, error) {
+	var out []*term.Fact
+	local := map[string]bool{}
+	firings := 0
+	b := newBindings()
+	err := ex.join(r.Body, order, 0, b, func() error {
+		firings++
+		f, err := applyHead(r, b)
+		if err != nil {
+			return err
+		}
+		if f == nil {
+			return nil // binding not applicable (outside U)
+		}
+		if !local[f.Key()] && !ex.db.Contains(f) {
+			local[f.Key()] = true
+			out = append(out, f)
+		}
+		return nil
+	})
+	return out, firings, err
+}
+
+// chunkRelation splits a delta relation into up to n roughly equal pieces;
+// small relations are returned whole.
+func chunkRelation(d *store.Relation, n int, useIdx bool) []*store.Relation {
+	facts := d.All()
+	if n <= 1 || len(facts) < 2*n {
+		return []*store.Relation{d}
+	}
+	size := (len(facts) + n - 1) / n
+	var out []*store.Relation
+	for start := 0; start < len(facts); start += size {
+		end := start + size
+		if end > len(facts) {
+			end = len(facts)
+		}
+		chunk := store.NewRelation(d.Name, useIdx)
+		for _, f := range facts[start:end] {
+			chunk.Insert(f)
+		}
+		out = append(out, chunk)
+	}
+	return out
+}
+
+// mergeRound inserts derived facts and feeds the semi-naive delta recorder.
+func (ex *exec) mergeRound(facts []*term.Fact, onNew func(*term.Fact)) int {
+	added := 0
+	for _, f := range facts {
+		if ex.db.Insert(f) {
+			added++
+			if ex.stats != nil {
+				ex.stats.Derived++
+			}
+			if onNew != nil {
+				onNew(f)
+			}
+		}
+	}
+	return added
+}

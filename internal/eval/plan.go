@@ -1,0 +1,127 @@
+// Package eval implements the bottom-up operational semantics of §3.2: the
+// R(M) operator, grouping by ≡-equivalence classes, stratified negation,
+// and naive and semi-naive fixpoint evaluation layer by layer (Theorem 1).
+package eval
+
+import (
+	"fmt"
+
+	"ldl1/internal/ast"
+	"ldl1/internal/builtin"
+	"ldl1/internal/layering"
+	"ldl1/internal/term"
+)
+
+// FlounderError reports a rule body that cannot be ordered so that every
+// built-in and negated literal becomes sufficiently instantiated.
+type FlounderError struct {
+	Rule ast.Rule
+	Lits []ast.Literal
+}
+
+func (e *FlounderError) Error() string {
+	return fmt.Sprintf("cannot order body of rule %q: literals %v never become sufficiently instantiated", e.Rule.String(), e.Lits)
+}
+
+// planBody orders body literals for left-to-right join execution.  At each
+// step it prefers, among the remaining literals:
+//
+//  1. fully bound tests (negated literals, test-mode built-ins) — cheapest,
+//  2. built-ins with a satisfiable generator mode,
+//  3. positive database literals, most bound arguments first.
+//
+// If forcedFirst >= 0 that literal is scheduled first (semi-naive delta
+// occurrence).  preBound seeds the bound-variable set (magic evaluation).
+func planBody(r ast.Rule, forcedFirst int, preBound map[term.Var]bool) ([]int, error) {
+	body := r.Body
+	n := len(body)
+	used := make([]bool, n)
+	bound := map[term.Var]bool{}
+	for v := range preBound {
+		bound[v] = true
+	}
+	isBound := func(v term.Var) bool { return bound[v] }
+	bindAll := func(i int) {
+		for _, v := range body[i].Vars() {
+			bound[v] = true
+		}
+	}
+	order := make([]int, 0, n)
+	take := func(i int) {
+		order = append(order, i)
+		used[i] = true
+		bindAll(i)
+	}
+	if forcedFirst >= 0 {
+		take(forcedFirst)
+	}
+	for len(order) < n {
+		chosen := -1
+		// Class 1: fully bound tests.
+		for i := 0; i < n && chosen < 0; i++ {
+			if used[i] {
+				continue
+			}
+			l := body[i]
+			if !l.Negated && !layering.IsBuiltin(l.Pred) {
+				continue
+			}
+			allBound := true
+			for _, v := range l.Vars() {
+				if !bound[v] {
+					allBound = false
+					break
+				}
+			}
+			if allBound && (!layering.IsBuiltin(l.Pred) || builtin.Ready(l, isBound)) {
+				chosen = i
+			}
+		}
+		// Class 2: ready generator built-ins.
+		for i := 0; i < n && chosen < 0; i++ {
+			if used[i] || body[i].Negated || !layering.IsBuiltin(body[i].Pred) {
+				continue
+			}
+			if builtin.Ready(body[i], isBound) {
+				chosen = i
+			}
+		}
+		// Class 3: positive database literals, most bound args first.
+		if chosen < 0 {
+			best := -1
+			for i := 0; i < n; i++ {
+				if used[i] || body[i].Negated || layering.IsBuiltin(body[i].Pred) {
+					continue
+				}
+				score := 0
+				for _, a := range body[i].Args {
+					grounded := true
+					for _, v := range term.VarsOf(a) {
+						if !bound[v] {
+							grounded = false
+							break
+						}
+					}
+					if grounded {
+						score++
+					}
+				}
+				if score > best {
+					best = score
+					chosen = i
+				}
+			}
+		}
+		if chosen < 0 {
+			var rest []ast.Literal
+			for i := 0; i < n; i++ {
+				if !used[i] {
+					rest = append(rest, body[i])
+				}
+			}
+			return nil, &FlounderError{Rule: r, Lits: rest}
+		}
+		take(chosen)
+	}
+	return order, nil
+}

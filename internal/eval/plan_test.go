@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"errors"
+	"testing"
+
+	"ldl1/internal/parser"
+	"ldl1/internal/store"
+	"ldl1/internal/term"
+)
+
+func planOf(t *testing.T, src string, preBound ...term.Var) []int {
+	t.Helper()
+	p := parser.MustParseProgram(src)
+	bound := map[term.Var]bool{}
+	for _, v := range preBound {
+		bound[v] = true
+	}
+	order, err := PlanBody(p.Rules[0], -1, bound)
+	if err != nil {
+		t.Fatalf("plan %q: %v", src, err)
+	}
+	return order
+}
+
+func TestPlanTestsFirst(t *testing.T) {
+	// With X pre-bound, the fully bound negated literal runs before the
+	// generator (it is the cheapest pruning step).
+	order := planOf(t, "h(X, Y) <- e(X, Y), not f(X).", "X")
+	if order[0] != 1 {
+		t.Errorf("order = %v; negated test should come first", order)
+	}
+}
+
+func TestPlanBuiltinsAfterBinding(t *testing.T) {
+	// partition needs S1, S2 or S bound; both tc literals must precede it.
+	order := planOf(t, "tc(S, C) <- partition(S, S1, S2), tc(S1, C1), tc(S2, C2), C = C1 + C2.")
+	pos := map[int]int{}
+	for i, idx := range order {
+		pos[idx] = i
+	}
+	if !(pos[1] < pos[0] && pos[2] < pos[0]) {
+		t.Errorf("partition scheduled before its inputs: %v", order)
+	}
+	if pos[3] != 3 {
+		t.Errorf("arithmetic should come last: %v", order)
+	}
+}
+
+func TestPlanIndexPreference(t *testing.T) {
+	// The literal sharing a bound variable is scheduled before the
+	// unconstrained one.
+	order := planOf(t, "h(X, Z) <- a(Y, Z), b(X, W).", "X")
+	if order[0] != 1 {
+		t.Errorf("order = %v; b(X, W) has a bound argument and should lead", order)
+	}
+}
+
+func TestPlanFlounder(t *testing.T) {
+	p := parser.MustParseProgram("h(X) <- e(X), member(Y, S).")
+	_, err := PlanBody(p.Rules[0], -1, nil)
+	var fe *FlounderError
+	if !errors.As(err, &fe) {
+		t.Fatalf("expected FlounderError, got %v", err)
+	}
+	if len(fe.Lits) == 0 || fe.Lits[0].Pred != "member" {
+		t.Errorf("flounder literals = %v", fe.Lits)
+	}
+	// Evaluation surfaces the same error.
+	if _, err := Eval(p, store.NewDB(), Options{}); err == nil {
+		t.Error("floundering program evaluated without error")
+	}
+}
+
+func TestPlanForcedFirst(t *testing.T) {
+	p := parser.MustParseProgram("h(X, Y) <- a(X, Z), b(Z, Y).")
+	order, err := PlanBody(p.Rules[0], 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != 1 {
+		t.Errorf("forced-first ignored: %v", order)
+	}
+}

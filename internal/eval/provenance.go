@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"ldl1/internal/term"
+)
+
+// Derivation records how a fact entered the model: the rule instance that
+// produced it and the body facts it matched (its premises).  EDB facts and
+// program facts have no rule.
+type Derivation struct {
+	Fact     *term.Fact
+	Rule     string // rule text; "" for extensional facts
+	Premises []*term.Fact
+	// Grouped is set for facts produced by a grouping rule; Premises
+	// then holds one representative body match per collected element.
+	Grouped bool
+}
+
+// Provenance collects one Derivation per derived fact when attached to
+// Options.
+type Provenance struct {
+	m map[string]*Derivation
+}
+
+// NewProvenance creates an empty provenance store.
+func NewProvenance() *Provenance {
+	return &Provenance{m: map[string]*Derivation{}}
+}
+
+func (p *Provenance) record(d *Derivation) {
+	key := d.Fact.Key()
+	if _, ok := p.m[key]; !ok {
+		p.m[key] = d
+	}
+}
+
+// Of returns the derivation of a fact, if one was recorded.
+func (p *Provenance) Of(f *term.Fact) (*Derivation, bool) {
+	d, ok := p.m[f.Key()]
+	return d, ok
+}
+
+// Len returns the number of recorded derivations.
+func (p *Provenance) Len() int { return len(p.m) }
+
+// Explain renders a proof tree for the fact: the rule that derived it and,
+// recursively, the derivations of its premises.  Extensional facts are
+// leaves.  Cycles cannot occur (each fact's first derivation is recorded,
+// and premises were present before the conclusion).
+func (p *Provenance) Explain(f *term.Fact) string {
+	var b strings.Builder
+	seen := map[string]bool{}
+	p.explain(&b, f, 0, seen)
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func (p *Provenance) explain(b *strings.Builder, f *term.Fact, depth int, seen map[string]bool) {
+	indent := strings.Repeat("  ", depth)
+	d, ok := p.m[f.Key()]
+	if !ok {
+		fmt.Fprintf(b, "%s%s.   [given]\n", indent, f)
+		return
+	}
+	if seen[f.Key()] {
+		fmt.Fprintf(b, "%s%s.   [shown above]\n", indent, f)
+		return
+	}
+	seen[f.Key()] = true
+	switch {
+	case d.Rule == "":
+		fmt.Fprintf(b, "%s%s.   [fact]\n", indent, f)
+	case d.Grouped:
+		fmt.Fprintf(b, "%s%s   [grouped by %s]\n", indent, f, d.Rule)
+	default:
+		fmt.Fprintf(b, "%s%s   [by %s]\n", indent, f, d.Rule)
+	}
+	for _, prem := range d.Premises {
+		p.explain(b, prem, depth+1, seen)
+	}
+}

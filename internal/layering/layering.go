@@ -1,0 +1,209 @@
+// Package layering implements §3.1 of the paper: the dependency relations
+// > and ≥ on predicate symbols, the admissibility test, and the
+// construction of a layering (stratification).
+//
+//	p ≥ q : a rule with head p (no grouping in the head) has q positive in
+//	        its body;
+//	p > q : a rule with head p has a grouping occurrence in the head and q
+//	        anywhere in its body, or q appears negated in its body.
+//
+// A program is admissible iff no cyclic dependency passes through a >
+// edge (Lemma 3.1: equivalently, iff a layering exists).
+package layering
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ldl1/internal/ast"
+)
+
+// Builtins are the reserved predicate symbols evaluated directly by the
+// engine; they impose no layering constraints.
+var Builtins = map[string]bool{
+	"member": true, "union": true, "partition": true, "set": true,
+	"=": true, "/=": true, "<": true, "<=": true, ">": true, ">=": true,
+	"true": true, "false": true,
+}
+
+// IsBuiltin reports whether pred is a reserved built-in predicate.
+func IsBuiltin(pred string) bool { return Builtins[pred] }
+
+// edge is a dependency from head predicate to body predicate.
+type edge struct {
+	to     string
+	strict bool // true for >, false for ≥
+}
+
+// Layering is the result of stratifying an admissible program.
+type Layering struct {
+	// Stratum maps each predicate to its layer index, 0-based.  EDB
+	// predicates (those with no rules) are in stratum 0.
+	Stratum map[string]int
+	// NumStrata is 1 + the maximum stratum index.
+	NumStrata int
+	// Rules[i] holds the program rules whose head predicate lies in
+	// stratum i, in original program order.
+	Rules [][]ast.Rule
+}
+
+// NotAdmissibleError reports a dependency cycle through a strict edge
+// (grouping or negation), with the offending predicate cycle.
+type NotAdmissibleError struct {
+	Cycle []string
+}
+
+func (e *NotAdmissibleError) Error() string {
+	return fmt.Sprintf("program is not admissible (§3.1): dependency cycle through grouping or negation: %s",
+		strings.Join(e.Cycle, " -> "))
+}
+
+// Stratify checks admissibility and returns a layering for the program.
+// Built-in predicates are ignored.
+func Stratify(p *ast.Program) (*Layering, error) {
+	graph := buildGraph(p)
+
+	// Predicate universe in deterministic order.
+	preds := make([]string, 0, len(graph))
+	for pred := range graph {
+		preds = append(preds, pred)
+	}
+	sort.Strings(preds)
+
+	// Compute strata by iterating to a fixed point:
+	//   stratum(p) ≥ stratum(q)      for p ≥ q
+	//   stratum(p) ≥ stratum(q) + 1  for p > q
+	// A program with n predicates needs at most n strata; if a value
+	// exceeds n the constraints are unsatisfiable (cycle through >).
+	stratum := make(map[string]int, len(preds))
+	for _, pred := range preds {
+		stratum[pred] = 0
+	}
+	n := len(preds)
+	for changed := true; changed; {
+		changed = false
+		for _, pred := range preds {
+			for _, e := range graph[pred] {
+				want := stratum[e.to]
+				if e.strict {
+					want++
+				}
+				if stratum[pred] < want {
+					if want > n {
+						return nil, &NotAdmissibleError{Cycle: findCycle(graph, pred)}
+					}
+					stratum[pred] = want
+					changed = true
+				}
+			}
+		}
+	}
+
+	max := 0
+	for _, s := range stratum {
+		if s > max {
+			max = s
+		}
+	}
+	l := &Layering{Stratum: stratum, NumStrata: max + 1}
+	l.Rules = make([][]ast.Rule, l.NumStrata)
+	for _, r := range p.Rules {
+		s := stratum[r.Head.Pred]
+		l.Rules[s] = append(l.Rules[s], r)
+	}
+	return l, nil
+}
+
+// Admissible reports whether the program has a layering (Lemma 3.1).
+func Admissible(p *ast.Program) bool {
+	_, err := Stratify(p)
+	return err == nil
+}
+
+func buildGraph(p *ast.Program) map[string][]edge {
+	graph := map[string][]edge{}
+	touch := func(pred string) {
+		if _, ok := graph[pred]; !ok {
+			graph[pred] = nil
+		}
+	}
+	for _, r := range p.Rules {
+		head := r.Head.Pred
+		touch(head)
+		grouping := r.IsGroupingRule()
+		for _, l := range r.Body {
+			if IsBuiltin(l.Pred) {
+				continue
+			}
+			touch(l.Pred)
+			strict := grouping || l.Negated
+			graph[head] = append(graph[head], edge{to: l.Pred, strict: strict})
+		}
+	}
+	return graph
+}
+
+// findCycle locates a cycle through a strict edge for error reporting.
+// Each path frame records the predicate and the strictness of the edge used
+// to leave it; a back edge closes a cycle, which offends iff some leaving
+// edge on it is strict.
+func findCycle(graph map[string][]edge, start string) []string {
+	type frame struct {
+		pred      string
+		outStrict bool
+	}
+	var path []frame
+	onPath := map[string]int{}
+	var visit func(pred string) []string
+	visit = func(pred string) []string {
+		if i, ok := onPath[pred]; ok {
+			strict := false
+			for _, f := range path[i:] {
+				strict = strict || f.outStrict
+			}
+			if !strict {
+				return nil
+			}
+			cyc := make([]string, 0, len(path)-i+1)
+			for _, f := range path[i:] {
+				cyc = append(cyc, f.pred)
+			}
+			return append(cyc, pred)
+		}
+		onPath[pred] = len(path)
+		path = append(path, frame{pred: pred})
+		defer func() {
+			delete(onPath, pred)
+			path = path[:len(path)-1]
+		}()
+		edges := append([]edge(nil), graph[pred]...)
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].strict != edges[j].strict {
+				return edges[i].strict
+			}
+			return edges[i].to < edges[j].to
+		})
+		for _, e := range edges {
+			path[len(path)-1].outStrict = e.strict
+			if cyc := visit(e.to); cyc != nil {
+				return cyc
+			}
+		}
+		return nil
+	}
+	if cyc := visit(start); cyc != nil {
+		return cyc
+	}
+	preds := make([]string, 0, len(graph))
+	for p := range graph {
+		preds = append(preds, p)
+	}
+	sort.Strings(preds)
+	for _, p := range preds {
+		if cyc := visit(p); cyc != nil {
+			return cyc
+		}
+	}
+	return []string{start}
+}

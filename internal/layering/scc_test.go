@@ -1,0 +1,80 @@
+package layering
+
+import (
+	"testing"
+
+	"ldl1/internal/parser"
+)
+
+func TestFinestLayeringValid(t *testing.T) {
+	p := parser.MustParseProgram(`
+		a(X, Y) <- p(X, Y).
+		a(X, Y) <- a(X, Z), a(Z, Y).
+		sg(X, Y) <- siblings(X, Y).
+		sg(X, Y) <- p(Z1, X), sg(Z1, Z2), p(Z2, Y).
+		hasdesc(X) <- a(X, Z).
+		young(X, <Y>) <- sg(X, Y), not hasdesc(X).
+	`)
+	fine, err := StratifyFinest(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := Stratify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The finest layering has at least as many strata.
+	if fine.NumStrata < coarse.NumStrata {
+		t.Fatalf("finest has %d strata, coarse %d", fine.NumStrata, coarse.NumStrata)
+	}
+	// Every predicate keeps a distinct layer per SCC.
+	if fine.Stratum["a"] == fine.Stratum["sg"] {
+		t.Error("independent SCCs a and sg should be in distinct layers")
+	}
+	// Layering conditions hold: young strictly above sg and hasdesc.
+	if !(fine.Stratum["young"] > fine.Stratum["sg"] && fine.Stratum["young"] > fine.Stratum["hasdesc"]) {
+		t.Errorf("strata = %v", fine.Stratum)
+	}
+	if !(fine.Stratum["hasdesc"] >= fine.Stratum["a"]) {
+		t.Errorf("hasdesc below a: %v", fine.Stratum)
+	}
+	// Every rule lands in some layer.
+	total := 0
+	for _, rules := range fine.Rules {
+		total += len(rules)
+	}
+	if total != len(p.Rules) {
+		t.Errorf("rules partitioned %d of %d", total, len(p.Rules))
+	}
+}
+
+func TestFinestKeepsSCCsTogether(t *testing.T) {
+	p := parser.MustParseProgram(`
+		a(X) <- b(X).
+		b(X) <- a(X).
+		a(X) <- e(X).
+		c(X) <- a(X).
+	`)
+	fine, err := StratifyFinest(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.Stratum["a"] != fine.Stratum["b"] {
+		t.Error("mutually recursive predicates must share a layer")
+	}
+	if !(fine.Stratum["c"] > fine.Stratum["a"]) && fine.Stratum["c"] != fine.Stratum["a"] {
+		t.Errorf("c layer = %v", fine.Stratum)
+	}
+	if !(fine.Stratum["e"] < fine.Stratum["a"]) {
+		t.Errorf("e should be below a: %v", fine.Stratum)
+	}
+}
+
+func TestFinestRejectsInadmissible(t *testing.T) {
+	p := parser.MustParseProgram(`
+		win(X) <- move(X, Y), not win(Y).
+	`)
+	if _, err := StratifyFinest(p); err == nil {
+		t.Fatal("inadmissible program accepted")
+	}
+}

@@ -1,0 +1,128 @@
+package lps
+
+import (
+	"fmt"
+
+	"ldl1/internal/ast"
+	"ldl1/internal/term"
+)
+
+// Translate implements Theorem 3 of §5: every LPS rule becomes a cluster of
+// LDL1 rules whose unique minimal model, restricted to the LPS predicates,
+// models the LPS program.  For a rule
+//
+//	head <- R̄, (∀x_1∈X_1)...(∀x_n∈X_n)[B̄]
+//
+// we generate (g a fresh tuple functor; R̄ keeps the set variables bound):
+//
+//	a(X̄, g(x̄))  <- R̄, B̄, member(x_1, X_1), ..., member(x_n, X_n).
+//	b(X̄, g(x̄))  <- R̄, member(x_1, X_1), ..., member(x_n, X_n).
+//	c(X̄, <S>)   <- a(X̄, S).
+//	d(X̄, <S>)   <- b(X̄, S).
+//	head        <- R̄, d(X̄, S), c(X̄, S).
+//	head        <- R̄, X_i = {}.            (one per i — the empty-set case
+//	                                         the paper leaves unhandled)
+//
+// The a-rule collects the element combinations satisfying the body, the
+// b-rule all combinations; the head holds when the grouped sets coincide —
+// i.e. when the ∀ condition is met — or vacuously when some X_i is empty.
+func Translate(p *Program) (*ast.Program, error) {
+	out := ast.NewProgram()
+	for _, f := range p.Facts {
+		out.Add(ast.Rule{Head: ast.Literal{Pred: f.Pred, Args: f.Args}})
+	}
+	counter := 0
+	for _, r := range p.Rules {
+		counter++
+		rules, err := translateRule(r, counter)
+		if err != nil {
+			return nil, err
+		}
+		out.Add(rules...)
+	}
+	return out, nil
+}
+
+func translateRule(r Rule, k int) ([]ast.Rule, error) {
+	if len(r.Quants) == 0 {
+		body := append(append([]ast.Literal{}, r.Regular...), r.Body...)
+		return []ast.Rule{{Head: r.Head, Body: body}}, nil
+	}
+	elemVars := make([]term.Term, len(r.Quants))
+	var members []ast.Literal
+	seen := map[term.Var]bool{}
+	for i, q := range r.Quants {
+		if seen[q.Elem] {
+			return nil, fmt.Errorf("lps: duplicate quantified variable %s", q.Elem)
+		}
+		seen[q.Elem] = true
+		elemVars[i] = q.Elem
+		members = append(members, ast.NewLit("member", q.Elem, q.Set))
+	}
+	// The auxiliary relations are keyed on every free variable of the
+	// rule — the quantified set variables X̄ and any other variable bound
+	// by the regular literals or used in the head — so that grouping
+	// never mixes element combinations across different rule contexts.
+	keySeen := map[term.Var]bool{}
+	for _, q := range r.Quants {
+		keySeen[q.Elem] = true // quantified element vars are not keys
+	}
+	var setVars []term.Term
+	addKeys := func(lits []ast.Literal) {
+		for _, l := range lits {
+			for _, v := range l.Vars() {
+				if !keySeen[v] {
+					keySeen[v] = true
+					setVars = append(setVars, v)
+				}
+			}
+		}
+	}
+	addKeys([]ast.Literal{r.Head})
+	addKeys(r.Regular)
+
+	aPred := fmt.Sprintf("lps_a_%d", k)
+	bPred := fmt.Sprintf("lps_b_%d", k)
+	cPred := fmt.Sprintf("lps_c_%d", k)
+	dPred := fmt.Sprintf("lps_d_%d", k)
+	gTuple := term.NewCompound(fmt.Sprintf("lps_g_%d", k), elemVars...)
+
+	var rules []ast.Rule
+	// a(X̄, g(x̄)) <- R̄, B̄, member...
+	rules = append(rules, ast.Rule{
+		Head: ast.Literal{Pred: aPred, Args: append(append([]term.Term{}, setVars...), gTuple)},
+		Body: append(append(append([]ast.Literal{}, r.Regular...), r.Body...), members...),
+	})
+	// b(X̄, g(x̄)) <- R̄, member...
+	rules = append(rules, ast.Rule{
+		Head: ast.Literal{Pred: bPred, Args: append(append([]term.Term{}, setVars...), gTuple)},
+		Body: append(append([]ast.Literal{}, r.Regular...), members...),
+	})
+	// c(X̄, <S>) <- a(X̄, S);  d(X̄, <S>) <- b(X̄, S).
+	s := term.Var(fmt.Sprintf("LpsS%d", k))
+	rules = append(rules, ast.Rule{
+		Head: ast.Literal{Pred: cPred, Args: append(append([]term.Term{}, setVars...), term.NewGroup(s))},
+		Body: []ast.Literal{{Pred: aPred, Args: append(append([]term.Term{}, setVars...), s)}},
+	})
+	rules = append(rules, ast.Rule{
+		Head: ast.Literal{Pred: dPred, Args: append(append([]term.Term{}, setVars...), term.NewGroup(s))},
+		Body: []ast.Literal{{Pred: bPred, Args: append(append([]term.Term{}, setVars...), s)}},
+	})
+	// head <- R̄, d(X̄, S), c(X̄, S).
+	rules = append(rules, ast.Rule{
+		Head: r.Head,
+		Body: append(append([]ast.Literal{}, r.Regular...),
+			ast.Literal{Pred: dPred, Args: append(append([]term.Term{}, setVars...), s)},
+			ast.Literal{Pred: cPred, Args: append(append([]term.Term{}, setVars...), s)}),
+	})
+	// head <- R̄, X_i = {}: the ∀ holds vacuously when any quantified
+	// range is empty.
+	for _, q := range r.Quants {
+		rules = append(rules, ast.Rule{
+			Head: r.Head,
+			Body: append(append([]ast.Literal{}, r.Regular...),
+				ast.NewLit("=", q.Set, term.EmptySet)),
+		})
+	}
+	return rules, nil
+}

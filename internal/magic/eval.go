@@ -1,0 +1,180 @@
+package magic
+
+import (
+	"fmt"
+
+	"ldl1/internal/ast"
+	"ldl1/internal/eval"
+	"ldl1/internal/parser"
+	"ldl1/internal/store"
+	"ldl1/internal/term"
+)
+
+// maxPasses bounds the outer magic-saturation loop as a safety net; the
+// loop is monotone in the magic fact set and terminates on its own for
+// admissible inputs.
+const maxPasses = 1000
+
+// Result is the outcome of magic-sets query evaluation.
+type Result struct {
+	// Adorned is the adorned program (step two of §6).
+	Adorned *AdornedProgram
+	// Rewritten is the magic program (step three of §6).
+	Rewritten *Rewritten
+	// DB is the database computed by the final pass: the relevant
+	// portions of every relation, under adorned names.
+	DB *store.DB
+	// Solutions are the query answers, one binding per tuple.
+	Solutions []map[term.Var]term.Term
+	// Passes is the number of outer saturation passes.  It is 1 when no
+	// magic fact feeds back across strata (the common case) and grows
+	// only with cross-layer cyclicity through magic predicates.
+	Passes int
+}
+
+// Answer evaluates the query against program + database using the magic
+// sets method end to end: adorn, rewrite, then evaluate the rewritten
+// program by iterated stratified saturation.
+//
+// Because the rewritten program is not layered (§6), each pass evaluates
+// the rewritten rules grouped by the ORIGINAL program's layering with all
+// magic facts discovered so far preloaded; grouped and negated bodies are
+// recomputed from scratch each pass, so the final (fixpoint) pass sees
+// fully evaluated bodies for every magic binding — exactly the §6
+// evaluation constraint.
+func Answer(p *ast.Program, edb *store.DB, query parser.Query, opts eval.Options) (*Result, error) {
+	return AnswerVariant(p, edb, query, opts, Basic)
+}
+
+// AnswerVariant is Answer under an explicit choice of rewriting variant.
+func AnswerVariant(p *ast.Program, edb *store.DB, query parser.Query, opts eval.Options, v Variant) (*Result, error) {
+	ap, err := Adorn(p, query)
+	if err != nil {
+		return nil, err
+	}
+	var rw *Rewritten
+	if v == Supplementary {
+		rw, err = RewriteSupplementary(ap)
+	} else {
+		rw, err = Rewrite(ap)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Group rewritten rules by assigned stratum.
+	groups := make([][]ast.Rule, rw.NumStrata)
+	for _, r := range rw.Program.Rules {
+		s := rw.Strata[r.Head.Pred] // magic seed and magic preds included
+		groups[s] = append(groups[s], r)
+	}
+
+	acc := store.NewDB() // accumulated magic facts
+	res := &Result{Adorned: ap, Rewritten: rw}
+	for pass := 1; ; pass++ {
+		if pass > maxPasses {
+			return nil, fmt.Errorf("magic: no fixpoint after %d passes", maxPasses)
+		}
+		db := edb.Clone()
+		for _, f := range acc.Facts() {
+			db.Insert(f)
+		}
+		if err := eval.EvalGroups(groups, db, opts); err != nil {
+			return nil, err
+		}
+		grew := false
+		for pred := range rw.MagicPreds {
+			if !db.Has(pred) {
+				continue
+			}
+			for _, f := range db.Rel(pred).All() {
+				if acc.Insert(f) {
+					grew = true
+				}
+			}
+		}
+		res.Passes = pass
+		if !grew {
+			res.DB = db
+			break
+		}
+	}
+
+	// Read the answers off the adorned query predicate.
+	qlit := ast.Literal{Pred: rw.AnswerPred, Args: ap.QueryLit.Args}
+	sols, err := eval.Solve([]ast.Literal{qlit}, res.DB)
+	if err != nil {
+		return nil, err
+	}
+	res.Solutions = sols
+	return res, nil
+}
+
+// AnswerWithout evaluates the same query without magic sets, as the
+// baseline: full bottom-up evaluation followed by filtering.  Returned
+// solutions use the same shape as Answer.
+func AnswerWithout(p *ast.Program, edb *store.DB, query parser.Query, opts eval.Options) ([]map[term.Var]term.Term, *store.DB, error) {
+	db, err := eval.Eval(p, edb, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	sols, err := eval.Solve(query.Body, db)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sols, db, nil
+}
+
+// SameSolutions reports whether two solution lists bind the query's
+// variables identically (as sets of tuples).
+func SameSolutions(a, b []map[term.Var]term.Term, q parser.Query) bool {
+	vars := map[term.Var]bool{}
+	var order []term.Var
+	for _, l := range q.Body {
+		for _, v := range l.Vars() {
+			if !vars[v] {
+				vars[v] = true
+				order = append(order, v)
+			}
+		}
+	}
+	key := func(sol map[term.Var]term.Term) string {
+		out := ""
+		for _, v := range order {
+			if t, ok := sol[v]; ok {
+				out += string(v) + "=" + t.Key() + ";"
+			}
+		}
+		return out
+	}
+	as := map[string]bool{}
+	for _, s := range a {
+		as[key(s)] = true
+	}
+	bs := map[string]bool{}
+	for _, s := range b {
+		bs[key(s)] = true
+	}
+	if len(as) != len(bs) {
+		return false
+	}
+	for k := range as {
+		if !bs[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseAndAnswer is a convenience wrapper: parse source containing rules,
+// facts and exactly one query, then run Answer.
+func ParseAndAnswer(src string, opts eval.Options) (*Result, error) {
+	unit, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(unit.Queries) != 1 {
+		return nil, fmt.Errorf("magic: source must contain exactly one query, got %d", len(unit.Queries))
+	}
+	return Answer(unit.Program, store.NewDB(), unit.Queries[0], opts)
+}

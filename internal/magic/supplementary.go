@@ -1,0 +1,256 @@
+package magic
+
+import (
+	"ldl1/internal/ast"
+	"ldl1/internal/layering"
+	"ldl1/internal/term"
+	"ldl1/internal/unify"
+)
+
+// RewriteSupplementary produces the supplementary-magic-sets variant of the
+// §6 rewriting (the full algorithm of the paper's [BR87] reference): each
+// rule's body prefix is materialized once in a chain of supplementary
+// predicates sup_{r,j} carrying exactly the live variables, so magic rules
+// and the modified rule never re-evaluate a shared prefix.
+//
+//	sup_{r,0}(B̄)   <- magic_p^a(bound head args).
+//	sup_{r,j}(V̄_j) <- sup_{r,j-1}(V̄_{j-1}), l_j.
+//	magic_q^aj(..) <- sup_{r,j-1}(V̄_{j-1}).
+//	p^a(t̄)         <- sup_{r,n}(V̄_n).
+//
+// where V̄_j are the variables bound after literal j that are still needed
+// by a later literal or by the head.
+func RewriteSupplementary(ap *AdornedProgram) (*Rewritten, error) {
+	lay, err := layering.Stratify(ap.Original)
+	if err != nil {
+		return nil, err
+	}
+	out := &Rewritten{
+		Program:    ast.NewProgram(),
+		AnswerPred: adornedName(ap.QueryPred, ap.QueryAdorn),
+		Strata:     map[string]int{},
+		MagicPreds: map[string]bool{},
+	}
+	assign := func(pred string, stratum int) {
+		if s, ok := out.Strata[pred]; !ok || stratum > s {
+			out.Strata[pred] = stratum
+		}
+	}
+
+	for ri, ar := range ap.Rules {
+		// Strata are doubled so that the supplementary chain of a
+		// grouping rule can sit strictly below the grouping itself
+		// (grouping rules are evaluated once, before their layer's
+		// fixpoint).
+		headStratum := 2 * lay.Stratum[ar.Rule.Head.Pred]
+		chainStratum := headStratum
+		if ar.Rule.IsGroupingRule() {
+			chainStratum = headStratum - 1
+			if chainStratum < 0 {
+				chainStratum = 0
+			}
+		}
+		headName := adornedName(ar.Rule.Head.Pred, ar.Head)
+		mName := magicName(ar.Rule.Head.Pred, ar.Head)
+		out.MagicPreds[mName] = true
+		assign(headName, headStratum)
+		assign(mName, headStratum)
+
+		// Bound head arguments and their variables.
+		var boundArgs []term.Term
+		boundVars := map[term.Var]bool{}
+		for i, a := range ar.Rule.Head.Args {
+			if !ar.Head.Bound(i) {
+				continue
+			}
+			if _, isGroup := a.(*term.Group); isGroup {
+				continue
+			}
+			boundArgs = append(boundArgs, a)
+			for _, v := range term.VarsOf(a) {
+				boundVars[v] = true
+			}
+		}
+		headVars := map[term.Var]bool{}
+		for _, v := range ar.Rule.Head.Vars() {
+			headVars[v] = true
+		}
+
+		// Rename body literals to adorned names where applicable.
+		renamed := make([]ast.Literal, len(ar.Rule.Body))
+		for i, l := range ar.Rule.Body {
+			if ad, ok := ar.Adorns[i]; ok {
+				renamed[i] = ast.Literal{Negated: l.Negated, Pred: adornedName(l.Pred, ad), Args: l.Args}
+				assign(adornedName(l.Pred, ad), 2*lay.Stratum[l.Pred])
+			} else {
+				renamed[i] = l
+			}
+		}
+
+		// Live variables after step j (on the sip order): needed by a
+		// later literal or by the head.
+		n := len(ar.Order)
+		neededAfter := make([]map[term.Var]bool, n+1)
+		neededAfter[n] = headVars
+		for j := n - 1; j >= 0; j-- {
+			cur := map[term.Var]bool{}
+			for v := range neededAfter[j+1] {
+				cur[v] = true
+			}
+			for _, v := range ar.Rule.Body[ar.Order[j]].Vars() {
+				cur[v] = true
+			}
+			neededAfter[j] = cur
+		}
+
+		supName := func(j int) string {
+			return supPredName(ri, j)
+		}
+		liveVars := func(j int, bound map[term.Var]bool) []term.Term {
+			// Variables bound so far that are still needed later.
+			var out []term.Term
+			for _, v := range orderedVars(ar.Rule) {
+				if bound[v] && neededAfter[j+1][v] {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+
+		// sup_0 <- magic_p(bound head args).
+		bound := map[term.Var]bool{}
+		for v := range boundVars {
+			bound[v] = true
+		}
+		sup0Args := liveVars(-1, bound)
+		out.Program.Add(ast.Rule{
+			Head: ast.Literal{Pred: supName(0), Args: sup0Args},
+			Body: []ast.Literal{{Pred: mName, Args: boundArgs}},
+		})
+		assign(supName(0), chainStratum)
+
+		prevSup := ast.Literal{Pred: supName(0), Args: sup0Args}
+		for step, idx := range ar.Order {
+			l := ar.Rule.Body[idx]
+			// Magic rule for IDB subgoals, fed by the supplementary.
+			if ad, ok := ar.Adorns[idx]; ok {
+				var qBound []term.Term
+				for i, a := range l.Args {
+					if ad.Bound(i) {
+						qBound = append(qBound, a)
+					}
+				}
+				qm := magicName(l.Pred, ad)
+				out.MagicPreds[qm] = true
+				assign(qm, chainStratum)
+				out.Program.Add(ast.Rule{
+					Head: ast.Literal{Pred: qm, Args: qBound},
+					Body: []ast.Literal{prevSup},
+				})
+			}
+			// Advance the chain.
+			for _, v := range l.Vars() {
+				bound[v] = true
+			}
+			supArgs := liveVars(step, bound)
+			out.Program.Add(ast.Rule{
+				Head: ast.Literal{Pred: supName(step + 1), Args: supArgs},
+				Body: []ast.Literal{prevSup, renamed[idx]},
+			})
+			assign(supName(step+1), chainStratum)
+			prevSup = ast.Literal{Pred: supName(step + 1), Args: supArgs}
+		}
+
+		// Modified rule: head from the final supplementary.
+		out.Program.Add(ast.Rule{
+			Head: ast.Literal{Pred: headName, Args: ar.Rule.Head.Args},
+			Body: []ast.Literal{prevSup},
+		})
+	}
+
+	// Base facts and IDB facts exactly as in the basic rewriting.
+	for _, r := range ap.Original.Rules {
+		if r.IsFact() && !ap.IDB[r.Head.Pred] {
+			out.Program.Add(r)
+			assign(r.Head.Pred, 0)
+		}
+	}
+	factAdorns := map[string][]Adornment{}
+	for _, ar := range ap.Rules {
+		factAdorns[ar.Rule.Head.Pred] = appendUniqueAdorn(factAdorns[ar.Rule.Head.Pred], ar.Head)
+	}
+	for _, r := range ap.Original.Rules {
+		if !r.IsFact() || !ap.IDB[r.Head.Pred] {
+			continue
+		}
+		for _, ad := range factAdorns[r.Head.Pred] {
+			var bound []term.Term
+			for i, a := range r.Head.Args {
+				if ad.Bound(i) {
+					bound = append(bound, a)
+				}
+			}
+			out.Program.Add(ast.Rule{
+				Head: ast.Literal{Pred: adornedName(r.Head.Pred, ad), Args: r.Head.Args},
+				Body: []ast.Literal{{Pred: magicName(r.Head.Pred, ad), Args: bound}},
+			})
+		}
+	}
+
+	// Seed.
+	var seedArgs []term.Term
+	for i, a := range ap.QueryLit.Args {
+		if ap.QueryAdorn.Bound(i) {
+			v, err := unify.Apply(a, unify.NewBindings())
+			if err != nil {
+				return nil, err
+			}
+			seedArgs = append(seedArgs, v)
+		}
+	}
+	out.Seed = ast.Rule{Head: ast.Literal{Pred: magicName(ap.QueryPred, ap.QueryAdorn), Args: seedArgs}}
+	out.Program.Add(out.Seed)
+
+	max := 0
+	for _, s := range out.Strata {
+		if s > max {
+			max = s
+		}
+	}
+	out.NumStrata = max + 1
+	return out, nil
+}
+
+func supPredName(rule, step int) string {
+	return "sup__" + itoa(rule) + "_" + itoa(step)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// orderedVars returns the rule's variables in a deterministic order.
+func orderedVars(r ast.Rule) []term.Var {
+	return r.Vars()
+}
+
+// Variant selects the §6 rewriting algorithm.
+type Variant int
+
+// Rewriting variants.
+const (
+	// Basic is the Generalized Magic Sets rewriting of Rewrite.
+	Basic Variant = iota
+	// Supplementary materializes rule prefixes in sup predicates.
+	Supplementary
+)

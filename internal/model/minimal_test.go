@@ -1,0 +1,100 @@
+package model
+
+import (
+	"testing"
+
+	"ldl1/internal/eval"
+	"ldl1/internal/store"
+	"ldl1/internal/term"
+)
+
+func TestIsMinimalWithinSubsets(t *testing.T) {
+	p := prog(t, `
+		anc(X, Y) <- par(X, Y).
+		anc(X, Y) <- par(X, Z), anc(Z, Y).
+		par(a, b). par(b, c).
+	`)
+	m, err := eval.Eval(p, store.NewDB(), eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, witness, err := IsMinimalWithinSubsets(p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !min {
+		t.Fatalf("standard model should have no proper submodel; witness:\n%s", witness)
+	}
+	// A padded model is not minimal; the witness is the real model.
+	padded := m.Clone()
+	padded.Insert(mustFact(t, "anc(c, a)"))
+	min, witness, err = IsMinimalWithinSubsets(p, padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min {
+		t.Fatal("padded model must not be minimal")
+	}
+	if witness == nil || witness.Contains(mustFact(t, "anc(c, a)")) {
+		t.Fatalf("witness should drop the junk fact:\n%s", witness)
+	}
+}
+
+func mustFact(t *testing.T, src string) *term.Fact {
+	t.Helper()
+	d := db(t, src+".")
+	return d.Facts()[0]
+}
+
+func TestElaborateDominanceAgreesOnPaperExamples(t *testing.T) {
+	// §2.4 remark: the paper's results hold for the elaborate dominance
+	// as well — check the worked example under both definitions.
+	m1 := db(t, "q(1). q(2). p({1, 2}).")
+	m2 := db(t, "q(1). p({1}).")
+	if StrictlyBelow(m2, m1) != StrictlyBelowElaborate(m2, m1) {
+		t.Error("basic and elaborate dominance disagree on M2 < M1")
+	}
+	if StrictlyBelowElaborate(m1, m2) {
+		t.Error("M1 must not be below M2 under elaborate dominance")
+	}
+	// Elaborate dominance sees through nesting where the basic one
+	// cannot: p({f({1})}) vs p({f({1,2})}) differ as sets of distinct
+	// elements, but elementwise f({1}) ≤ f({1,2}).
+	a := db(t, "p({f({1})}).")
+	b := db(t, "p({f({1, 2})}).")
+	if DiffDominated(a, b) {
+		t.Error("basic dominance should NOT relate nested structures")
+	}
+	if !DiffDominatedElaborate(a, b) {
+		t.Error("elaborate dominance should relate nested structures")
+	}
+}
+
+func TestExhaustiveSearchBound(t *testing.T) {
+	p := prog(t, "e(1).")
+	big := store.NewDB()
+	for i := 0; i < maxExhaustive+1; i++ {
+		big.Insert(db(t, "e(1).").Facts()[0])
+	}
+	// Duplicate inserts collapse; build genuinely many facts.
+	srcs := ""
+	for i := 0; i < maxExhaustive+1; i++ {
+		srcs += "e(" + itoa(i) + ").\n"
+	}
+	m := db(t, srcs)
+	if _, _, err := IsMinimalWithinSubsets(p, m); err == nil {
+		t.Error("oversized model should be rejected by the exhaustive search")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	s := ""
+	for n > 0 {
+		s = string(rune('0'+n%10)) + s
+		n /= 10
+	}
+	return s
+}

@@ -1,0 +1,222 @@
+package model
+
+import (
+	"testing"
+
+	"ldl1/internal/ast"
+	"ldl1/internal/eval"
+	"ldl1/internal/parser"
+	"ldl1/internal/store"
+	"ldl1/internal/term"
+)
+
+// db builds an interpretation from fact source text.
+func db(t *testing.T, facts string) *store.DB {
+	t.Helper()
+	p, err := parser.ParseProgram(facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := store.NewDB()
+	for _, r := range p.Rules {
+		if !r.IsFact() {
+			t.Fatalf("non-fact in interpretation: %v", r)
+		}
+		out.Insert(term.NewFact(r.Head.Pred, r.Head.Args...))
+	}
+	return out
+}
+
+func prog(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func assertModel(t *testing.T, p *ast.Program, m *store.DB, want bool) {
+	t.Helper()
+	got, err := IsModel(p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		viol, _ := Check(p, m)
+		t.Errorf("IsModel = %v, want %v (violation: %v)\ninterpretation:\n%s", got, want, viol, m)
+	}
+}
+
+func TestSection22ModelExample(t *testing.T) {
+	// §2.2: P = { q(X) <- p(X), h(X);  p(<X>) <- r(X);  r(1);  h({1}) }.
+	p := prog(t, `
+		q(X) <- p(X), h(X).
+		p(<X>) <- r(X).
+		r(1).
+		h({1}).
+	`)
+	good := db(t, "r(1). h({1}). p({1}). q({1}).")
+	assertModel(t, p, good, true)
+	// {r(1), h({1}), p({1,2})} is not a model: grouping demands p({1}).
+	bad := db(t, "r(1). h({1}). p({1, 2}).")
+	assertModel(t, p, bad, false)
+	viol, err := Check(p, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viol == nil || viol.Missing.String() != "p({1})" {
+		t.Errorf("violation = %v, want missing p({1})", viol)
+	}
+}
+
+func TestSection23IntersectionNotModel(t *testing.T) {
+	// §2.3: models are not closed under intersection.
+	p := prog(t, "p(<X>) <- q(X).")
+	a := db(t, "q(1). q(2). p({1, 2}).")
+	b := db(t, "q(2). q(3). p({2, 3}).")
+	assertModel(t, p, a, true)
+	assertModel(t, p, b, true)
+	inter := store.NewDB()
+	for _, f := range a.Facts() {
+		if b.Contains(f) {
+			inter.Insert(f)
+		}
+	}
+	// A ∩ B = {q(2)} lacks p({2}).
+	assertModel(t, p, inter, false)
+}
+
+func TestSection23TwoMinimalModels(t *testing.T) {
+	// §2.3: a positive program with more than one minimal model.
+	p := prog(t, `
+		p(<X>) <- q(X).
+		q(Y) <- w(S, Y), p(S).
+		q(1).
+		w({1}, 7).
+	`)
+	m := db(t, "q(1). w({1}, 7).")
+	assertModel(t, p, m, false)
+	// Even adding p({7}) does not make it a model.
+	m7 := db(t, "q(1). w({1}, 7). p({7}).")
+	assertModel(t, p, m7, false)
+	m1 := db(t, "q(1). w({1}, 7). q(2). p({1, 2}).")
+	m2 := db(t, "q(1). w({1}, 7). q(3). p({1, 3}).")
+	assertModel(t, p, m1, true)
+	assertModel(t, p, m2, true)
+	// Neither is below the other: minimality is not unique.
+	if StrictlyBelow(m1, m2) || StrictlyBelow(m2, m1) {
+		t.Error("m1 and m2 must be incomparable under §2.4 dominance")
+	}
+	// The "natural" model that closes under both rules.
+	m3 := db(t, "q(1). w({1}, 7). p({1}). q(7). p({1, 7}).")
+	assertModel(t, p, m3, true)
+}
+
+func TestSection24MinimalityExample(t *testing.T) {
+	// §2.4: M1 = {q(1), q(2), p({1,2})} is a model but not minimal;
+	// M2 = {q(1), p({1})} is a minimal model.
+	p := prog(t, `
+		q(1).
+		p(<X>) <- q(X).
+		q(2) <- p({1, 2}).
+	`)
+	m1 := db(t, "q(1). q(2). p({1, 2}).")
+	m2 := db(t, "q(1). p({1}).")
+	assertModel(t, p, m1, true)
+	assertModel(t, p, m2, true)
+	if !StrictlyBelow(m2, m1) {
+		t.Error("M2 must witness the non-minimality of M1")
+	}
+	if StrictlyBelow(m1, m2) {
+		t.Error("M1 must not be below M2")
+	}
+	// The program is NOT admissible (p > q and q ≥ p form a cycle
+	// through grouping), so bottom-up evaluation must reject it even
+	// though the minimal model M2 exists and can be verified by hand.
+	if _, err := eval.Eval(p, store.NewDB(), eval.Options{}); err == nil {
+		t.Error("the §2.4 example program should be rejected as inadmissible")
+	}
+}
+
+func TestDiffDominated(t *testing.T) {
+	a := db(t, "p({1}).")
+	bb := db(t, "p({1, 2}). q(1).")
+	if !DiffDominated(a, bb) {
+		t.Error("p({1}) ≤ p({1,2}) should make diff dominated")
+	}
+	if DiffDominated(bb, a) {
+		t.Error("larger set cannot be dominated by smaller")
+	}
+	// Identical databases: both directions hold trivially, StrictlyBelow
+	// must still be false.
+	if StrictlyBelow(a, a.Clone()) {
+		t.Error("equal interpretations are not strictly below each other")
+	}
+}
+
+// TestEvalProducesModel spot-checks Theorem 1: the bottom-up result is a
+// model of the program for a variety of admissible programs.
+func TestEvalProducesModel(t *testing.T) {
+	srcs := []string{
+		`ancestor(X, Y) <- parent(X, Y).
+		 ancestor(X, Y) <- parent(X, Z), ancestor(Z, Y).
+		 parent(a, b). parent(b, c).`,
+		`sp(s1, p1). sp(s1, p2). sp(s2, p1).
+		 supplies(S, <P>) <- sp(S, P).
+		 big(S) <- supplies(S, Ps), member(p1, Ps).`,
+		`e(1). e(2). e(3).
+		 odd(X) <- e(X), not even(X).
+		 even(2).`,
+		`q(1). q(2).
+		 p(<X>) <- q(X).
+		 w(<S>) <- p(S).
+		 r(X) <- w(W), member(S, W), member(X, S).`,
+	}
+	for i, src := range srcs {
+		p := prog(t, src)
+		m, err := eval.Eval(p, store.NewDB(), eval.Options{})
+		if err != nil {
+			t.Fatalf("program %d: %v", i, err)
+		}
+		ok, err := IsModel(p, m)
+		if err != nil {
+			t.Fatalf("program %d: %v", i, err)
+		}
+		if !ok {
+			viol, _ := Check(p, m)
+			t.Errorf("program %d: evaluation result is not a model: %v", i, viol)
+		}
+	}
+}
+
+// TestNoSmallerModel verifies minimality of the computed model on small
+// programs by checking that dropping any single derived fact breaks the
+// model property (a necessary condition of §2.4 minimality).
+func TestNoSmallerModel(t *testing.T) {
+	src := `
+		parent(a, b). parent(b, c).
+		ancestor(X, Y) <- parent(X, Y).
+		ancestor(X, Y) <- parent(X, Z), ancestor(Z, Y).
+	`
+	p := prog(t, src)
+	m, err := eval.Eval(p, store.NewDB(), eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, drop := range m.Facts() {
+		smaller := store.NewDB()
+		for _, f := range m.Facts() {
+			if f != drop {
+				smaller.Insert(f)
+			}
+		}
+		ok, err := IsModel(p, smaller)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("dropping %s still yields a model: not minimal", drop)
+		}
+	}
+}

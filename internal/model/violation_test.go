@@ -1,0 +1,80 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"ldl1/internal/term"
+)
+
+func TestViolationMessage(t *testing.T) {
+	p := prog(t, "q(X) <- e(X).")
+	m := db(t, "e(1).")
+	v, err := Check(p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("expected a violation")
+	}
+	msg := v.Error()
+	if !strings.Contains(msg, "q(X) <- e(X).") || !strings.Contains(msg, "q(1)") {
+		t.Errorf("violation message = %q", msg)
+	}
+	if !v.Missing.Equal(term.NewFact("q", term.Int(1))) {
+		t.Errorf("missing = %v", v.Missing)
+	}
+}
+
+func TestCheckFactViolation(t *testing.T) {
+	p := prog(t, "e(1). q(X) <- e(X).")
+	empty := db(t, "q(1).") // e(1) missing
+	v, err := Check(p, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil || v.Missing.String() != "e(1)" {
+		t.Errorf("violation = %v", v)
+	}
+}
+
+func TestCheckBuiltinBodies(t *testing.T) {
+	// Rules with built-ins are checked by direct interpretation of the
+	// built-in (the paper's M' convention).
+	p := prog(t, "big(X) <- e(X), X > 5.")
+	ok := db(t, "e(3). e(9). big(9).")
+	good, err := IsModel(p, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !good {
+		t.Error("interpretation should be a model")
+	}
+	bad := db(t, "e(9).")
+	good, err = IsModel(p, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good {
+		t.Error("missing big(9) should break the model")
+	}
+}
+
+func TestCheckNegatedBodies(t *testing.T) {
+	p := prog(t, "odd(X) <- e(X), not even(X).")
+	m1 := db(t, "e(1). e(2). even(2). odd(1).")
+	ok, err := IsModel(p, m1)
+	if err != nil || !ok {
+		t.Errorf("IsModel = %v, %v", ok, err)
+	}
+	m2 := db(t, "e(1). even(1).") // negation blocked: still a model
+	ok, err = IsModel(p, m2)
+	if err != nil || !ok {
+		t.Errorf("blocked negation: IsModel = %v, %v", ok, err)
+	}
+	m3 := db(t, "e(1).") // odd(1) required but absent
+	ok, err = IsModel(p, m3)
+	if err != nil || ok {
+		t.Errorf("missing odd(1): IsModel = %v, %v", ok, err)
+	}
+}

@@ -1,0 +1,365 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"ldl1/internal/ast"
+	"ldl1/internal/term"
+)
+
+// RewriteBodyPatterns expands the §4.1 body set patterns: a term <t>
+// appearing inside a body literal matches only set values whose elements
+// all have the uniform structure of t, with t's variables ranging over the
+// elements.
+//
+// For every group position the rewrite (a) replaces <t> by a fresh
+// variable S, (b) adds existential binding literals — member chains that
+// let t's variables range over elements — and (c) adds a universal
+// structure check: auxiliary rules deriving the sets with a non-conforming
+// element, negated in the transformed rule.  The result is a plain LDL1
+// program; stratification of the auxiliary negation follows from the
+// original program's layering.
+func RewriteBodyPatterns(p *ast.Program) (*ast.Program, error) {
+	g := newGen(p)
+	out := ast.NewProgram()
+	for _, r := range p.Rules {
+		rewritten, aux, err := rewriteBodyRule(r, g)
+		if err != nil {
+			return nil, err
+		}
+		out.Add(rewritten)
+		out.Add(aux...)
+	}
+	return out, nil
+}
+
+func rewriteBodyRule(r ast.Rule, g *gen) (ast.Rule, []ast.Rule, error) {
+	var aux []ast.Rule
+	body := make([]ast.Literal, 0, len(r.Body))
+	for _, l := range r.Body {
+		if !l.HasGroup() {
+			body = append(body, l)
+			continue
+		}
+		if l.Negated {
+			return ast.Rule{}, nil, fmt.Errorf("rewrite: set pattern in negated literal %q is not supported", l.String())
+		}
+		newArgs := make([]term.Term, len(l.Args))
+		var extra []ast.Literal
+		for i, a := range l.Args {
+			if !term.ContainsGroup(a) {
+				newArgs[i] = a
+				continue
+			}
+			// The rewritten literal with this argument abstracted is the
+			// candidate generator for the universal check.
+			na, lits, auxRules, err := compilePattern(a, l, i, g)
+			if err != nil {
+				return ast.Rule{}, nil, err
+			}
+			newArgs[i] = na
+			extra = append(extra, lits...)
+			aux = append(aux, auxRules...)
+		}
+		body = append(body, ast.Literal{Pred: l.Pred, Args: newArgs})
+		body = append(body, extra...)
+	}
+	return ast.Rule{Head: r.Head, Body: body}, aux, nil
+}
+
+// compilePattern rewrites one group-containing argument of a body literal.
+// It returns the replacement term, the literals to append to the rule body,
+// and the auxiliary rules implementing the universal structure check.
+func compilePattern(a term.Term, l ast.Literal, argIdx int, g *gen) (term.Term, []ast.Literal, []ast.Rule, error) {
+	switch t := a.(type) {
+	case *term.Group:
+		s := g.fresh()
+		lits := []ast.Literal{ast.NewLit("set", s)}
+		var aux []ast.Rule
+
+		// Candidate sets: values at this argument position.
+		cand := g.pred("cand")
+		candArgs := make([]term.Term, len(l.Args))
+		for j := range l.Args {
+			if j == argIdx {
+				candArgs[j] = term.Var("C")
+			} else {
+				candArgs[j] = g.fresh() // anonymized
+			}
+		}
+		aux = append(aux, ast.Rule{
+			Head: ast.NewLit(cand, term.Var("C")),
+			Body: []ast.Literal{{Pred: l.Pred, Args: candArgs}},
+		})
+
+		// Universal check: no element of S violates the inner structure.
+		badPred, badAux, err := badElemRules(t.Inner, cand, g)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		aux = append(aux, badAux...)
+		lits = append(lits, ast.NewNegLit(badPred, s))
+
+		// Existential binding: t.Inner's variables range over elements.
+		bindLits, bindAux, err := existsBind(t.Inner, s, g)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		lits = append(lits, bindLits...)
+		aux = append(aux, bindAux...)
+		return s, lits, aux, nil
+	case *term.Compound:
+		// Groups nested inside an uninterpreted term: rewrite each
+		// group-containing argument in place.
+		args := make([]term.Term, len(t.Args))
+		var lits []ast.Literal
+		var aux []ast.Rule
+		for j, sub := range t.Args {
+			if !term.ContainsGroup(sub) {
+				args[j] = sub
+				continue
+			}
+			// Abstract the whole literal position; candidate sets for
+			// nested positions are derived through element chains, so we
+			// fall back on matching the compound and recursing.
+			na, ls, ax, err := compilePattern(sub, l, argIdx, g)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			args[j] = na
+			lits = append(lits, ls...)
+			aux = append(aux, ax...)
+		}
+		return term.NewCompound(t.Functor, args...), lits, aux, nil
+	}
+	return nil, nil, nil, fmt.Errorf("rewrite: unsupported body pattern %s", a)
+}
+
+// existsBind produces literals that bind the variables of pattern by
+// ranging over the elements of the set bound to setVar.
+func existsBind(pattern term.Term, setVar term.Var, g *gen) ([]ast.Literal, []ast.Rule, error) {
+	if !term.ContainsGroup(pattern) {
+		// member(t, S): t's variables range over matching elements.
+		return []ast.Literal{ast.NewLit("member", pattern, setVar)}, nil, nil
+	}
+	if inner, ok := pattern.(*term.Group); ok {
+		// <t'> inside: elements are sets; bind an element then recurse.
+		e := g.fresh()
+		lits := []ast.Literal{ast.NewLit("member", e, setVar), ast.NewLit("set", e)}
+		sub, aux, err := existsBind(inner.Inner, e, g)
+		if err != nil {
+			return nil, nil, err
+		}
+		return append(lits, sub...), aux, nil
+	}
+	if c, ok := pattern.(*term.Compound); ok {
+		// f(..., <t>, ...) elements: bind the element, decompose it.
+		e := g.fresh()
+		lits := []ast.Literal{ast.NewLit("member", e, setVar)}
+		args := make([]term.Term, len(c.Args))
+		var pending []struct {
+			pat term.Term
+			v   term.Var
+		}
+		for j, sub := range c.Args {
+			if term.ContainsGroup(sub) {
+				v := g.fresh()
+				args[j] = v
+				pending = append(pending, struct {
+					pat term.Term
+					v   term.Var
+				}{sub, v})
+			} else {
+				args[j] = sub
+			}
+		}
+		lits = append(lits, ast.NewLit("=", e, term.NewCompound(c.Functor, args...)))
+		var aux []ast.Rule
+		for _, pd := range pending {
+			grp, ok := pd.pat.(*term.Group)
+			if !ok {
+				sub, ax, err := existsBindNested(pd.pat, pd.v, g)
+				if err != nil {
+					return nil, nil, err
+				}
+				lits = append(lits, sub...)
+				aux = append(aux, ax...)
+				continue
+			}
+			lits = append(lits, ast.NewLit("set", pd.v))
+			sub, ax, err := existsBind(grp.Inner, pd.v, g)
+			if err != nil {
+				return nil, nil, err
+			}
+			lits = append(lits, sub...)
+			aux = append(aux, ax...)
+		}
+		return lits, aux, nil
+	}
+	return nil, nil, fmt.Errorf("rewrite: unsupported nested pattern %s", pattern)
+}
+
+func existsBindNested(pattern term.Term, v term.Var, g *gen) ([]ast.Literal, []ast.Rule, error) {
+	// A compound containing groups bound to v: decompose via equality.
+	c, ok := pattern.(*term.Compound)
+	if !ok {
+		return nil, nil, fmt.Errorf("rewrite: unsupported nested pattern %s", pattern)
+	}
+	args := make([]term.Term, len(c.Args))
+	var lits []ast.Literal
+	var aux []ast.Rule
+	var pending []struct {
+		pat *term.Group
+		v   term.Var
+	}
+	for j, sub := range c.Args {
+		if grp, ok := sub.(*term.Group); ok {
+			nv := g.fresh()
+			args[j] = nv
+			pending = append(pending, struct {
+				pat *term.Group
+				v   term.Var
+			}{grp, nv})
+		} else {
+			args[j] = sub
+		}
+	}
+	lits = append(lits, ast.NewLit("=", v, term.NewCompound(c.Functor, args...)))
+	for _, pd := range pending {
+		lits = append(lits, ast.NewLit("set", pd.v))
+		sub, ax, err := existsBind(pd.pat.Inner, pd.v, g)
+		if err != nil {
+			return nil, nil, err
+		}
+		lits = append(lits, sub...)
+		aux = append(aux, ax...)
+	}
+	return lits, aux, nil
+}
+
+// badElemRules generates the universal structure check for the elements of
+// sets produced by candPred: it returns the name of a predicate bad(S)
+// that holds iff S (a candidate set) has an element NOT matching the
+// pattern's structure, together with the auxiliary rules.
+func badElemRules(pattern term.Term, candPred string, g *gen) (string, []ast.Rule, error) {
+	bad := g.pred("bad")
+	okPred := g.pred("shape")
+	s, e := term.Var("S"), term.Var("E")
+
+	var aux []ast.Rule
+	// bad(S) <- cand(S), member(E, S), not shape(E).
+	aux = append(aux, ast.Rule{
+		Head: ast.NewLit(bad, s),
+		Body: []ast.Literal{
+			ast.NewLit(candPred, s),
+			ast.NewLit("member", e, s),
+			ast.NewNegLit(okPred, e),
+		},
+	})
+	// shape(E) <- elems(E), <structure conditions>.
+	elems := g.pred("elems")
+	aux = append(aux, ast.Rule{
+		Head: ast.NewLit(elems, e),
+		Body: []ast.Literal{
+			ast.NewLit(candPred, s),
+			ast.NewLit("member", e, s),
+		},
+	})
+	conds, condAux, err := shapeConds(pattern, e, elems, g)
+	if err != nil {
+		return "", nil, err
+	}
+	aux = append(aux, condAux...)
+	aux = append(aux, ast.Rule{
+		Head: ast.NewLit(okPred, e),
+		Body: append([]ast.Literal{ast.NewLit(elems, e)}, conds...),
+	})
+	return bad, aux, nil
+}
+
+// shapeConds returns body literals asserting that the value bound to v has
+// the structure of pattern (ignoring which values the variables take).
+func shapeConds(pattern term.Term, v term.Var, candElems string, g *gen) ([]ast.Literal, []ast.Rule, error) {
+	switch t := pattern.(type) {
+	case term.Var:
+		return nil, nil, nil // any element conforms
+	case term.Atom, term.Int, term.Str, *term.Set:
+		return []ast.Literal{ast.NewLit("=", v, t)}, nil, nil
+	case *term.Group:
+		// Element must itself be a set of conforming elements.
+		nested := g.pred("cand")
+		s2 := g.fresh()
+		aux := []ast.Rule{{
+			Head: ast.NewLit(nested, s2),
+			Body: []ast.Literal{ast.NewLit(candElems, s2), ast.NewLit("set", s2)},
+		}}
+		badNested, nestedAux, err := badElemRules(t.Inner, nested, g)
+		if err != nil {
+			return nil, nil, err
+		}
+		aux = append(aux, nestedAux...)
+		return []ast.Literal{
+			ast.NewLit("set", v),
+			ast.NewNegLit(badNested, v),
+		}, aux, nil
+	case *term.Compound:
+		// Value must be f-shaped with conforming arguments.
+		args := make([]term.Term, len(t.Args))
+		var lits []ast.Literal
+		var aux []ast.Rule
+		fresh := make([]term.Var, len(t.Args))
+		for j := range t.Args {
+			fresh[j] = g.fresh()
+			args[j] = fresh[j]
+		}
+		lits = append(lits, ast.NewLit("=", v, term.NewCompound(t.Functor, args...)))
+		for j, sub := range t.Args {
+			if !term.ContainsGroup(sub) {
+				if _, isVar := sub.(term.Var); isVar {
+					continue
+				}
+				lits = append(lits, ast.NewLit("=", fresh[j], sub))
+				continue
+			}
+			// Nested structured position: derive its candidate values.
+			nestedCand := g.pred("cand")
+			cv := g.fresh()
+			decompose := make([]term.Term, len(t.Args))
+			for k := range decompose {
+				decompose[k] = g.fresh()
+			}
+			decompose[j] = cv
+			aux = append(aux, ast.Rule{
+				Head: ast.NewLit(nestedCand, cv),
+				Body: []ast.Literal{
+					ast.NewLit(candElems, term.Var("E2")),
+					ast.NewLit("=", term.Var("E2"), term.NewCompound(t.Functor, decompose...)),
+				},
+			})
+			subConds, subAux, err := shapeCondsTop(sub, fresh[j], nestedCand, g)
+			if err != nil {
+				return nil, nil, err
+			}
+			lits = append(lits, subConds...)
+			aux = append(aux, subAux...)
+		}
+		return lits, aux, nil
+	}
+	return nil, nil, fmt.Errorf("rewrite: unsupported shape pattern %s", pattern)
+}
+
+// shapeCondsTop handles a nested pattern position whose candidate values
+// come from candPred (unary).
+func shapeCondsTop(pattern term.Term, v term.Var, candPred string, g *gen) ([]ast.Literal, []ast.Rule, error) {
+	if grp, ok := pattern.(*term.Group); ok {
+		badNested, aux, err := badElemRules(grp.Inner, candPred, g)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []ast.Literal{
+			ast.NewLit("set", v),
+			ast.NewNegLit(badNested, v),
+		}, aux, nil
+	}
+	return shapeConds(pattern, v, candPred, g)
+}

@@ -1,0 +1,85 @@
+// Package rewrite implements the source-to-source transformations of the
+// paper: the LDL1.5 complex head-term expansion (§4.2), the body
+// set-pattern expansion (§4.1), and the elimination of negation through
+// grouping (§3.3).  All three produce plain LDL1 programs whose standard
+// models, restricted to the original predicates, coincide with those of the
+// input.
+package rewrite
+
+import (
+	"fmt"
+
+	"ldl1/internal/ast"
+	"ldl1/internal/term"
+)
+
+// gen allocates predicate and variable names that cannot collide with the
+// input program.
+type gen struct {
+	taken map[string]bool
+	preds int
+	vars  int
+}
+
+func newGen(p *ast.Program) *gen {
+	g := &gen{taken: map[string]bool{}}
+	for pred := range p.Preds() {
+		g.taken[pred] = true
+	}
+	return g
+}
+
+// pred returns a fresh predicate name with the given descriptive stem.
+func (g *gen) pred(stem string) string {
+	for {
+		g.preds++
+		name := fmt.Sprintf("%s_%d", stem, g.preds)
+		if !g.taken[name] {
+			g.taken[name] = true
+			return name
+		}
+	}
+}
+
+// fresh returns a fresh variable.
+func (g *gen) fresh() term.Var {
+	g.vars++
+	return term.Var(fmt.Sprintf("Gv%d", g.vars))
+}
+
+// headVarsOutsideGroups returns, in first-occurrence order, the variables of
+// the head that have at least one occurrence outside every grouping
+// construct — the Z̄ of the §4.2 translation rules.
+func headVarsOutsideGroups(h ast.Literal) []term.Var {
+	seen := map[term.Var]bool{}
+	var out []term.Var
+	var walk func(t term.Term)
+	walk = func(t term.Term) {
+		switch t := t.(type) {
+		case term.Var:
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		case *term.Compound:
+			for _, a := range t.Args {
+				walk(a)
+			}
+		case *term.Group:
+			// occurrences inside <...> do not count
+		}
+	}
+	for _, a := range h.Args {
+		walk(a)
+	}
+	return out
+}
+
+// varsToTerms converts a variable list into a term slice.
+func varsToTerms(vs []term.Var) []term.Term {
+	out := make([]term.Term, len(vs))
+	for i, v := range vs {
+		out[i] = v
+	}
+	return out
+}

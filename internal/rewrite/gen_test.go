@@ -1,0 +1,76 @@
+package rewrite
+
+import (
+	"testing"
+
+	"ldl1/internal/parser"
+	"ldl1/internal/term"
+)
+
+func TestGenAvoidsCollisions(t *testing.T) {
+	// A program that already uses a name the generator would pick.
+	p := parser.MustParseProgram(`
+		cand_1(1).
+		h(X) <- cand_1(X).
+	`)
+	g := newGen(p)
+	name := g.pred("cand")
+	if name == "cand_1" {
+		t.Fatalf("generator reused existing predicate %q", name)
+	}
+	// Names are unique across calls.
+	seen := map[string]bool{name: true}
+	for i := 0; i < 50; i++ {
+		n := g.pred("cand")
+		if seen[n] {
+			t.Fatalf("duplicate generated name %q", n)
+		}
+		seen[n] = true
+	}
+	// Fresh variables are distinct.
+	v1, v2 := g.fresh(), g.fresh()
+	if v1 == v2 {
+		t.Fatal("fresh variables collide")
+	}
+}
+
+func TestHeadVarsOutsideGroups(t *testing.T) {
+	p := parser.MustParseProgram("out(T, f(U), <h(S, <D>)>, T) <- r(T, U, S, D).")
+	got := headVarsOutsideGroups(p.Rules[0].Head)
+	want := []term.Var{"T", "U"}
+	if len(got) != len(want) {
+		t.Fatalf("Z̄ = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Z̄ = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNegationEliminationKeepsNegatedBuiltins(t *testing.T) {
+	p := parser.MustParseProgram(`
+		s({1, 2}).
+		nomem(X) <- e(X), s(S), not member(X, S).
+		e(1). e(3).
+	`)
+	pos, err := EliminateNegation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Negated built-ins are interpreted directly, not transformed.
+	found := false
+	for _, r := range pos.Rules {
+		for _, l := range r.Body {
+			if l.Negated && l.Pred == "member" {
+				found = true
+			}
+			if l.Negated && l.Pred != "member" {
+				t.Errorf("database negation survived: %v", l)
+			}
+		}
+	}
+	if !found {
+		t.Error("negated member should be kept as-is")
+	}
+}

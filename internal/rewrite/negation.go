@@ -1,0 +1,119 @@
+package rewrite
+
+import (
+	"ldl1/internal/ast"
+	"ldl1/internal/layering"
+	"ldl1/internal/term"
+)
+
+// Bottom is the reserved constant ⊥ of §3.3, prohibited in user programs.
+const Bottom = term.Atom("bottom")
+
+// EliminateNegation implements §3.3, "The Power of Grouping": every negated
+// body literal ¬p(t̄) is replaced by a positive test against a grouped
+// relation.  For each occurrence k we generate (with X̄ the variables of t̄
+// and dom_k a domain predicate collecting the bindings the original rule
+// can produce for X̄):
+//
+//	dom_k(X̄)      <- <positive database literals of the rule>.
+//	ok_k(X̄, ⊥)    <- dom_k(X̄).
+//	ok_k(X̄, {tp(X̄)}) <- dom_k(X̄), p(t̄).
+//	g_k(X̄, <S>)   <- ok_k(X̄, S).
+//	... ¬p(t̄) ...  becomes ... g_k(X̄, {⊥}) ...
+//
+// g_k groups, per X̄, the witnesses: {⊥} alone when p(t̄) fails, and
+// {⊥, {tp(X̄)}} when it holds — so matching the enumerated set {⊥} is
+// exactly negation as failure.  The transformed program is positive, and
+// remains admissible: the original p > head edge becomes head ≥ g_k > ok_k
+// ≥ p.
+func EliminateNegation(p *ast.Program) (*ast.Program, error) {
+	g := newGen(p)
+	out := ast.NewProgram()
+	for _, r := range p.Rules {
+		if !hasNegation(r) {
+			out.Add(r)
+			continue
+		}
+		nr, aux := eliminateRule(r, g)
+		out.Add(nr)
+		out.Add(aux...)
+	}
+	return out, nil
+}
+
+func hasNegation(r ast.Rule) bool {
+	for _, l := range r.Body {
+		if l.Negated {
+			return true
+		}
+	}
+	return false
+}
+
+func eliminateRule(r ast.Rule, g *gen) (ast.Rule, []ast.Rule) {
+	// Positive non-builtin literals provide the domain for X̄.
+	var domBody []ast.Literal
+	for _, l := range r.Body {
+		if !l.Negated && !layering.IsBuiltin(l.Pred) {
+			domBody = append(domBody, l)
+		}
+	}
+	var aux []ast.Rule
+	body := make([]ast.Literal, 0, len(r.Body))
+	for _, l := range r.Body {
+		if !l.Negated {
+			body = append(body, l)
+			continue
+		}
+		if layering.IsBuiltin(l.Pred) {
+			// Negated built-ins are already positive tests in spirit;
+			// keep them (the §3.3 construction targets database
+			// predicates).
+			body = append(body, l)
+			continue
+		}
+		xs := varsToTerms(l.Vars())
+		dom := g.pred("dom")
+		okP := g.pred("ok")
+		grp := g.pred("g")
+
+		// dom_k(X̄) <- positive body.
+		aux = append(aux, ast.Rule{
+			Head: ast.Literal{Pred: dom, Args: xs},
+			Body: append([]ast.Literal{}, domBody...),
+		})
+		// ok_k(X̄, ⊥) <- dom_k(X̄).
+		aux = append(aux, ast.Rule{
+			Head: ast.Literal{Pred: okP, Args: append(append([]term.Term{}, xs...), Bottom)},
+			Body: []ast.Literal{{Pred: dom, Args: xs}},
+		})
+		// ok_k(X̄, S) <- dom_k(X̄), p(t̄), S = {tp(X̄)}.
+		s := g.fresh()
+		witness := term.NewCompound(unifySetPattern, term.NewCompound("tp", xs...))
+		aux = append(aux, ast.Rule{
+			Head: ast.Literal{Pred: okP, Args: append(append([]term.Term{}, xs...), s)},
+			Body: []ast.Literal{
+				{Pred: dom, Args: xs},
+				l.Positive(),
+				ast.NewLit("=", s, witness),
+			},
+		})
+		// g_k(X̄, <S>) <- ok_k(X̄, S).
+		sv := g.fresh()
+		aux = append(aux, ast.Rule{
+			Head: ast.Literal{Pred: grp, Args: append(append([]term.Term{}, xs...), term.NewGroup(sv))},
+			Body: []ast.Literal{{Pred: okP, Args: append(append([]term.Term{}, xs...), sv)}},
+		})
+		// Replace ¬p(t̄) with g_k(X̄, {⊥}).
+		body = append(body, ast.Literal{
+			Pred: grp,
+			Args: append(append([]term.Term{}, xs...), term.NewSet(Bottom)),
+		})
+	}
+	return ast.Rule{Head: r.Head, Body: body}, aux
+}
+
+// unifySetPattern is the parser's functor for enumerated sets with
+// variables; building it programmatically keeps the witness {tp(X̄)}
+// evaluable at binding time.
+const unifySetPattern = "$set"

@@ -1,0 +1,209 @@
+// Package store holds sets of U-facts: per-predicate relations with
+// duplicate elimination, insertion-order iteration, and lazily built
+// per-column hash indexes used by the join evaluator.
+package store
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"ldl1/internal/term"
+)
+
+// Relation is a set of U-facts for one predicate.
+//
+// Concurrency: Insert is single-writer; Lookup and All may run from many
+// goroutines BETWEEN writes (the parallel evaluator derives into private
+// buffers and merges single-threaded).  The lazy index build is the only
+// mutation Lookup performs, and it is guarded by mu.
+type Relation struct {
+	Name    string
+	facts   []*term.Fact // insertion order
+	byKey   map[string]*term.Fact
+	mu      sync.Mutex
+	indexes map[int]map[string][]*term.Fact // column → arg key → facts
+	useIdx  bool
+}
+
+// NewRelation creates an empty relation.
+func NewRelation(name string, useIndexes bool) *Relation {
+	return &Relation{
+		Name:   name,
+		byKey:  make(map[string]*term.Fact),
+		useIdx: useIndexes,
+	}
+}
+
+// Len returns the number of facts.
+func (r *Relation) Len() int { return len(r.facts) }
+
+// All returns the facts in insertion order.  Callers must not mutate the
+// returned slice.
+func (r *Relation) All() []*term.Fact { return r.facts }
+
+// Contains reports whether the relation holds the fact.
+func (r *Relation) Contains(f *term.Fact) bool {
+	_, ok := r.byKey[f.Key()]
+	return ok
+}
+
+// Insert adds the fact, reporting whether it was new.
+func (r *Relation) Insert(f *term.Fact) bool {
+	k := f.Key()
+	if _, ok := r.byKey[k]; ok {
+		return false
+	}
+	r.byKey[k] = f
+	r.facts = append(r.facts, f)
+	for col, idx := range r.indexes {
+		ak := f.Args[col].Key()
+		idx[ak] = append(idx[ak], f)
+	}
+	return true
+}
+
+// Lookup returns the facts whose argument at column col equals value.  With
+// indexing enabled the first call per column builds a hash index that is
+// maintained incrementally; without it, Lookup scans.
+func (r *Relation) Lookup(col int, value term.Term) []*term.Fact {
+	if !r.useIdx {
+		var out []*term.Fact
+		for _, f := range r.facts {
+			if col < len(f.Args) && term.Equal(f.Args[col], value) {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+	r.mu.Lock()
+	idx, ok := r.indexes[col]
+	if !ok {
+		idx = make(map[string][]*term.Fact, len(r.facts))
+		for _, f := range r.facts {
+			if col < len(f.Args) {
+				ak := f.Args[col].Key()
+				idx[ak] = append(idx[ak], f)
+			}
+		}
+		if r.indexes == nil {
+			r.indexes = make(map[int]map[string][]*term.Fact)
+		}
+		r.indexes[col] = idx
+	}
+	r.mu.Unlock()
+	return idx[value.Key()]
+}
+
+// DB is a database: a set of U-facts grouped into relations.
+type DB struct {
+	rels       map[string]*Relation
+	order      []string // relation creation order, for deterministic output
+	UseIndexes bool
+}
+
+// NewDB creates an empty database with indexing enabled.
+func NewDB() *DB {
+	return &DB{rels: make(map[string]*Relation), UseIndexes: true}
+}
+
+// Rel returns the relation for pred, creating it if needed.
+func (db *DB) Rel(pred string) *Relation {
+	r, ok := db.rels[pred]
+	if !ok {
+		r = NewRelation(pred, db.UseIndexes)
+		db.rels[pred] = r
+		db.order = append(db.order, pred)
+	}
+	return r
+}
+
+// Has reports whether a relation exists for pred (even if empty).
+func (db *DB) Has(pred string) bool {
+	_, ok := db.rels[pred]
+	return ok
+}
+
+// Insert adds a fact, reporting whether it was new.
+func (db *DB) Insert(f *term.Fact) bool { return db.Rel(f.Pred).Insert(f) }
+
+// Contains reports whether the database holds the fact.
+func (db *DB) Contains(f *term.Fact) bool {
+	r, ok := db.rels[f.Pred]
+	return ok && r.Contains(f)
+}
+
+// Len returns the total number of facts.
+func (db *DB) Len() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Preds returns the predicate names in creation order.
+func (db *DB) Preds() []string {
+	out := make([]string, len(db.order))
+	copy(out, db.order)
+	return out
+}
+
+// Facts returns all facts, relation by relation in creation order.
+func (db *DB) Facts() []*term.Fact {
+	out := make([]*term.Fact, 0, db.Len())
+	for _, p := range db.order {
+		out = append(out, db.rels[p].facts...)
+	}
+	return out
+}
+
+// Clone returns an independent copy of the database.  Facts are shared
+// (they are immutable); relation bookkeeping is copied.
+func (db *DB) Clone() *DB {
+	out := NewDB()
+	out.UseIndexes = db.UseIndexes
+	for _, p := range db.order {
+		r := db.rels[p]
+		nr := out.Rel(p)
+		nr.facts = append(nr.facts, r.facts...)
+		for k, f := range r.byKey {
+			nr.byKey[k] = f
+		}
+	}
+	return out
+}
+
+// AddAll inserts every fact of src, reporting the number of new facts.
+func (db *DB) AddAll(src *DB) int {
+	n := 0
+	for _, f := range src.Facts() {
+		if db.Insert(f) {
+			n++
+		}
+	}
+	return n
+}
+
+// Equal reports whether two databases hold exactly the same facts.
+func (db *DB) Equal(other *DB) bool {
+	if db.Len() != other.Len() {
+		return false
+	}
+	for _, f := range db.Facts() {
+		if !other.Contains(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the database as sorted fact lines, for tests and tools.
+func (db *DB) String() string {
+	lines := make([]string, 0, db.Len())
+	for _, f := range db.Facts() {
+		lines = append(lines, f.String()+".")
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

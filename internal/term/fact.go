@@ -1,0 +1,134 @@
+package term
+
+import "strings"
+
+// Fact is a U-fact p(e1,...,en): a predicate symbol applied to elements of
+// the universe U (§2.2).  Args must be ground.
+type Fact struct {
+	Pred string
+	Args []Term
+
+	key string
+}
+
+// NewFact builds a U-fact.
+func NewFact(pred string, args ...Term) *Fact {
+	return &Fact{Pred: pred, Args: args}
+}
+
+// Key returns a canonical encoding of the fact; two facts are the same
+// U-fact iff their keys are equal.
+func (f *Fact) Key() string {
+	if f.key == "" {
+		var b strings.Builder
+		b.WriteString(f.Pred)
+		b.WriteByte('/')
+		for i, a := range f.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(a.Key())
+		}
+		f.key = b.String()
+	}
+	return f.key
+}
+
+func (f *Fact) String() string {
+	if len(f.Args) == 0 {
+		return f.Pred
+	}
+	var b strings.Builder
+	b.WriteString(f.Pred)
+	b.WriteByte('(')
+	for i, a := range f.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Equal reports whether f and g are the same U-fact.
+func (f *Fact) Equal(g *Fact) bool { return f.Key() == g.Key() }
+
+// Dominated reports the paper's basic fact dominance e ≤ e' (§2.4): both
+// facts use the same predicate and arity, and argument-wise, set arguments
+// of e are subsets of the corresponding arguments of e' while non-set
+// arguments are equal.
+func Dominated(e, ep *Fact) bool {
+	if e.Pred != ep.Pred || len(e.Args) != len(ep.Args) {
+		return false
+	}
+	for i := range e.Args {
+		s, sok := e.Args[i].(*Set)
+		t, tok := ep.Args[i].(*Set)
+		if sok && tok {
+			if !s.SubsetOf(t) {
+				return false
+			}
+			continue
+		}
+		if !Equal(e.Args[i], ep.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ElemDominated implements the more elaborate element dominance of the
+// §2.4 remark: e ≤ e' if (i) e = e', or (ii) both are applications of the
+// same functor with pointwise-dominated arguments, or (iii) both are sets
+// and every element of e is dominated by some element of e'.
+func ElemDominated(e, ep Term) bool {
+	if Equal(e, ep) {
+		return true
+	}
+	if c, ok := e.(*Compound); ok {
+		if cp, ok := ep.(*Compound); ok && c.Functor == cp.Functor && len(c.Args) == len(cp.Args) {
+			for i := range c.Args {
+				if !ElemDominated(c.Args[i], cp.Args[i]) {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	}
+	if s, ok := e.(*Set); ok {
+		sp, ok := ep.(*Set)
+		if !ok {
+			return false
+		}
+		for _, a := range s.elems {
+			found := false
+			for _, b := range sp.elems {
+				if ElemDominated(a, b) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// FactElemDominated lifts ElemDominated to facts: p(s1..sn) ≤ p(s1'..sn')
+// iff argument-wise si ≤ si' under the elaborate element dominance.
+func FactElemDominated(e, ep *Fact) bool {
+	if e.Pred != ep.Pred || len(e.Args) != len(ep.Args) {
+		return false
+	}
+	for i := range e.Args {
+		if !ElemDominated(e.Args[i], ep.Args[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,419 @@
+// Package term implements the LDL1 universe U: simple terms (constants,
+// integers, strings, compound terms), variables, and canonical finite sets.
+//
+// The universe U of the paper (§2.2) is the omega-closure of the Herbrand
+// universe under finite subsets and function application.  Every ground term
+// in this package is an element of U; sets are kept in a canonical
+// (sorted, duplicate-free) form so that structural equality of terms
+// coincides with equality in U.
+package term
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the concrete representation of a Term.
+type Kind uint8
+
+// The term kinds, in canonical order (used by Compare).
+const (
+	KindInt Kind = iota
+	KindAtom
+	KindStr
+	KindVar
+	KindCompound
+	KindSet
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindAtom:
+		return "atom"
+	case KindStr:
+		return "string"
+	case KindVar:
+		return "var"
+	case KindCompound:
+		return "compound"
+	case KindSet:
+		return "set"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Term is an LDL1 term.  Ground terms are elements of the universe U.
+type Term interface {
+	Kind() Kind
+	// Key returns a canonical encoding of the term.  Two terms are equal
+	// (as elements of U, or syntactically for non-ground terms) iff their
+	// keys are equal.
+	Key() string
+	// String returns the concrete LDL1 syntax for the term.
+	String() string
+}
+
+// Atom is a symbolic constant, e.g. john.
+type Atom string
+
+// Int is an integer constant.
+type Int int64
+
+// Str is a string constant, written "like this".
+type Str string
+
+// Var is a logic variable, e.g. X.  The parser renames anonymous variables
+// ("_") apart, so distinct occurrences never share a name.
+type Var string
+
+// Compound is an uninterpreted function term f(t1,...,tn).  The built-in
+// binary function scons is never stored as a Compound in ground data: it is
+// evaluated away into a Set during binding application (see Eval).
+type Compound struct {
+	Functor string
+	Args    []Term
+
+	key string // lazily memoised canonical key
+}
+
+// Set is a finite set in U, held canonically: elements sorted by Compare
+// with duplicates removed.  The zero value is the empty set {}.
+type Set struct {
+	elems []Term
+	key   string
+}
+
+func (Atom) Kind() Kind      { return KindAtom }
+func (Int) Kind() Kind       { return KindInt }
+func (Str) Kind() Kind       { return KindStr }
+func (Var) Kind() Kind       { return KindVar }
+func (*Compound) Kind() Kind { return KindCompound }
+func (*Set) Kind() Kind      { return KindSet }
+
+func (a Atom) Key() string { return "a:" + string(a) }
+func (i Int) Key() string  { return "i:" + strconv.FormatInt(int64(i), 10) }
+func (s Str) Key() string  { return "s:" + strconv.Quote(string(s)) }
+func (v Var) Key() string  { return "v:" + string(v) }
+
+func (c *Compound) Key() string {
+	if c.key == "" {
+		var b strings.Builder
+		b.WriteString("c:")
+		b.WriteString(strconv.Itoa(len(c.Functor)))
+		b.WriteByte('~')
+		b.WriteString(c.Functor)
+		b.WriteByte('(')
+		for i, a := range c.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(a.Key())
+		}
+		b.WriteByte(')')
+		c.key = b.String()
+	}
+	return c.key
+}
+
+func (s *Set) Key() string {
+	if s.key == "" {
+		var b strings.Builder
+		b.WriteString("S:{")
+		for i, e := range s.elems {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(e.Key())
+		}
+		b.WriteByte('}')
+		s.key = b.String()
+	}
+	return s.key
+}
+
+func (a Atom) String() string {
+	if a == EmptyList {
+		return "[]"
+	}
+	return string(a)
+}
+func (i Int) String() string { return strconv.FormatInt(int64(i), 10) }
+func (s Str) String() string { return strconv.Quote(string(s)) }
+func (v Var) String() string { return string(v) }
+
+func (c *Compound) String() string {
+	if s, ok := listString(c); ok {
+		return s
+	}
+	// The parser's enumerated-set pattern renders back in braces, and
+	// binary arithmetic renders infix (parenthesized, so it re-parses
+	// unambiguously).
+	if c.Functor == "$set" {
+		var b strings.Builder
+		b.WriteByte('{')
+		for i, a := range c.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.String())
+		}
+		b.WriteByte('}')
+		return b.String()
+	}
+	if len(c.Args) == 2 {
+		switch c.Functor {
+		case "+", "-", "*", "/":
+			return "(" + c.Args[0].String() + " " + c.Functor + " " + c.Args[1].String() + ")"
+		}
+	}
+	if len(c.Args) == 0 {
+		return c.Functor
+	}
+	var b strings.Builder
+	b.WriteString(c.Functor)
+	b.WriteByte('(')
+	for i, a := range c.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, e := range s.elems {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(e.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// NewCompound builds f(args...).
+func NewCompound(functor string, args ...Term) *Compound {
+	return &Compound{Functor: functor, Args: args}
+}
+
+// EmptySet is the canonical empty set {}.
+var EmptySet = &Set{}
+
+// NewSet builds the canonical set containing elems (duplicates removed,
+// elements sorted).  All elements must be ground; callers enforce this.
+func NewSet(elems ...Term) *Set {
+	if len(elems) == 0 {
+		return EmptySet
+	}
+	es := make([]Term, len(elems))
+	copy(es, elems)
+	sort.Slice(es, func(i, j int) bool { return Compare(es[i], es[j]) < 0 })
+	out := es[:1]
+	for _, e := range es[1:] {
+		if Compare(out[len(out)-1], e) != 0 {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		return EmptySet
+	}
+	return &Set{elems: out}
+}
+
+// Len returns the cardinality of the set.
+func (s *Set) Len() int { return len(s.elems) }
+
+// Elems returns the canonical (sorted) element slice.  Callers must not
+// mutate it.
+func (s *Set) Elems() []Term { return s.elems }
+
+// Contains reports whether x is an element of s.
+func (s *Set) Contains(x Term) bool {
+	i := sort.Search(len(s.elems), func(i int) bool { return Compare(s.elems[i], x) >= 0 })
+	return i < len(s.elems) && Compare(s.elems[i], x) == 0
+}
+
+// SubsetOf reports s ⊆ t.
+func (s *Set) SubsetOf(t *Set) bool {
+	if s.Len() > t.Len() {
+		return false
+	}
+	i := 0
+	for _, e := range s.elems {
+		for i < len(t.elems) && Compare(t.elems[i], e) < 0 {
+			i++
+		}
+		if i >= len(t.elems) || Compare(t.elems[i], e) != 0 {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// Union returns s ∪ t.
+func (s *Set) Union(t *Set) *Set {
+	merged := make([]Term, 0, len(s.elems)+len(t.elems))
+	merged = append(merged, s.elems...)
+	merged = append(merged, t.elems...)
+	return NewSet(merged...)
+}
+
+// Intersect returns s ∩ t.
+func (s *Set) Intersect(t *Set) *Set {
+	var out []Term
+	for _, e := range s.elems {
+		if t.Contains(e) {
+			out = append(out, e)
+		}
+	}
+	return NewSet(out...)
+}
+
+// Difference returns s \ t.
+func (s *Set) Difference(t *Set) *Set {
+	var out []Term
+	for _, e := range s.elems {
+		if !t.Contains(e) {
+			out = append(out, e)
+		}
+	}
+	return NewSet(out...)
+}
+
+// Disjoint reports s ∩ t = {}.
+func (s *Set) Disjoint(t *Set) bool {
+	a, b := s, t
+	if a.Len() > b.Len() {
+		a, b = b, a
+	}
+	for _, e := range a.elems {
+		if b.Contains(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns s ∪ {x}: the interpretation of scons(x, s) (§2.2).
+func (s *Set) Add(x Term) *Set {
+	if s.Contains(x) {
+		return s
+	}
+	elems := make([]Term, 0, len(s.elems)+1)
+	elems = append(elems, s.elems...)
+	elems = append(elems, x)
+	return NewSet(elems...)
+}
+
+// Equal reports structural equality of two terms (equality in U for ground
+// terms).
+func Equal(a, b Term) bool { return Compare(a, b) == 0 }
+
+// Compare imposes a deterministic total order on terms: first by Kind, then
+// by natural value order within the kind (integers numerically, atoms and
+// strings lexicographically, compounds by functor, arity, then arguments,
+// sets by cardinality-aware lexicographic element order).
+func Compare(a, b Term) int {
+	ka, kb := a.Kind(), b.Kind()
+	if ka != kb {
+		return int(ka) - int(kb)
+	}
+	switch ka {
+	case KindInt:
+		x, y := a.(Int), b.(Int)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case KindAtom:
+		return strings.Compare(string(a.(Atom)), string(b.(Atom)))
+	case KindStr:
+		return strings.Compare(string(a.(Str)), string(b.(Str)))
+	case KindVar:
+		return strings.Compare(string(a.(Var)), string(b.(Var)))
+	case KindCompound:
+		x, y := a.(*Compound), b.(*Compound)
+		if c := strings.Compare(x.Functor, y.Functor); c != 0 {
+			return c
+		}
+		if c := len(x.Args) - len(y.Args); c != 0 {
+			return c
+		}
+		for i := range x.Args {
+			if c := Compare(x.Args[i], y.Args[i]); c != 0 {
+				return c
+			}
+		}
+		return 0
+	case KindSet:
+		x, y := a.(*Set), b.(*Set)
+		n := min(len(x.elems), len(y.elems))
+		for i := 0; i < n; i++ {
+			if c := Compare(x.elems[i], y.elems[i]); c != 0 {
+				return c
+			}
+		}
+		return len(x.elems) - len(y.elems)
+	case KindGroup:
+		return Compare(a.(*Group).Inner, b.(*Group).Inner)
+	}
+	panic("term: unknown kind")
+}
+
+// IsGround reports whether t contains no variables.
+func IsGround(t Term) bool {
+	switch t := t.(type) {
+	case Var:
+		return false
+	case *Group:
+		// Grouping constructs are syntax, never elements of U.
+		return false
+	case *Compound:
+		for _, a := range t.Args {
+			if !IsGround(a) {
+				return false
+			}
+		}
+		return true
+	default:
+		// Atoms, ints, strings, and sets (which are ground by
+		// construction) have no variables.
+		return true
+	}
+}
+
+// Vars appends the variables of t to dst in first-occurrence order, skipping
+// names already in seen, and returns the extended slice.
+func Vars(t Term, seen map[Var]bool, dst []Var) []Var {
+	switch t := t.(type) {
+	case Var:
+		if !seen[t] {
+			seen[t] = true
+			dst = append(dst, t)
+		}
+	case *Group:
+		dst = Vars(t.Inner, seen, dst)
+	case *Compound:
+		for _, a := range t.Args {
+			dst = Vars(a, seen, dst)
+		}
+	}
+	return dst
+}
+
+// VarsOf returns the variables of t in first-occurrence order.
+func VarsOf(t Term) []Var {
+	return Vars(t, map[Var]bool{}, nil)
+}

@@ -1,0 +1,193 @@
+// Package workload generates synthetic databases for the benchmark
+// harness.  The paper evaluates no concrete datasets (it is a semantics
+// paper), so these generators supply the family of inputs its examples
+// assume: parent chains and trees for ancestor/same-generation, supplier
+// catalogs for grouping, bill-of-material DAGs for the part-cost program,
+// and book catalogs for set enumeration.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ldl1/internal/store"
+	"ldl1/internal/term"
+)
+
+// person names node i deterministically.
+func person(i int) term.Atom { return term.Atom(fmt.Sprintf("n%d", i)) }
+
+// ParentChain returns a parent relation forming a chain n0 -> n1 -> ... ->
+// n_{n}.
+func ParentChain(n int) *store.DB {
+	db := store.NewDB()
+	for i := 0; i < n; i++ {
+		db.Insert(term.NewFact("parent", person(i), person(i+1)))
+	}
+	return db
+}
+
+// ParentTree returns a complete binary tree of the given depth rooted at
+// n1 (heap numbering: children of i are 2i and 2i+1).
+func ParentTree(depth int) *store.DB {
+	db := store.NewDB()
+	last := 1 << depth
+	for i := 1; i < last; i++ {
+		db.Insert(term.NewFact("parent", person(i), person(2*i)))
+		db.Insert(term.NewFact("parent", person(i), person(2*i+1)))
+	}
+	return db
+}
+
+// RandomDAG returns a parent relation forming a random DAG on n nodes with
+// roughly edgesPerNode outgoing edges per node, all pointing forward so the
+// graph is acyclic.
+func RandomDAG(n, edgesPerNode int, seed int64) *store.DB {
+	r := rand.New(rand.NewSource(seed))
+	db := store.NewDB()
+	for i := 0; i < n-1; i++ {
+		for k := 0; k < edgesPerNode; k++ {
+			j := i + 1 + r.Intn(n-i-1)
+			db.Insert(term.NewFact("parent", person(i), person(j)))
+		}
+	}
+	return db
+}
+
+// Persons adds a person(n_i) fact for every node index in [0, n].
+func Persons(db *store.DB, n int) *store.DB {
+	for i := 0; i <= n; i++ {
+		db.Insert(term.NewFact("person", person(i)))
+	}
+	return db
+}
+
+// SupplierParts returns an sp(Supplier, Part) relation where each of the
+// suppliers offers partsPer parts drawn from a shared pool (so parts
+// overlap across suppliers).
+func SupplierParts(suppliers, partsPer int, seed int64) *store.DB {
+	r := rand.New(rand.NewSource(seed))
+	pool := suppliers * partsPer / 2
+	if pool < 1 {
+		pool = 1
+	}
+	db := store.NewDB()
+	for s := 0; s < suppliers; s++ {
+		for k := 0; k < partsPer; k++ {
+			p := r.Intn(pool)
+			db.Insert(term.NewFact("sp",
+				term.Atom(fmt.Sprintf("s%d", s)),
+				term.Atom(fmt.Sprintf("p%d", p))))
+		}
+	}
+	return db
+}
+
+// Books returns a book(Title, Price) relation with n titles priced 5..60.
+func Books(n int, seed int64) *store.DB {
+	r := rand.New(rand.NewSource(seed))
+	db := store.NewDB()
+	for i := 0; i < n; i++ {
+		price := 5 + r.Intn(56)
+		db.Insert(term.NewFact("book",
+			term.Atom(fmt.Sprintf("b%d", i)), term.Int(int64(price))))
+	}
+	return db
+}
+
+// BOM returns the p (part, immediate subpart) and q (elementary part,
+// cost) relations of the §1 part-cost example: a tree of aggregate parts
+// with the given fanout and depth whose leaves are elementary parts.
+// Total part count is (fanout^(depth+1)-1)/(fanout-1); keep it small — the
+// tc program derives a tc tuple for every disjoint union of part sets.
+func BOM(depth, fanout int) *store.DB {
+	db := store.NewDB()
+	id := 1
+	type node struct{ id, depth int }
+	queue := []node{{1, 0}}
+	for len(queue) > 0 {
+		nd := queue[0]
+		queue = queue[1:]
+		if nd.depth == depth {
+			// Elementary part: cost by id for determinism.
+			db.Insert(term.NewFact("q", term.Int(int64(nd.id)), term.Int(int64(10+nd.id))))
+			continue
+		}
+		for k := 0; k < fanout; k++ {
+			id++
+			db.Insert(term.NewFact("p", term.Int(int64(nd.id)), term.Int(int64(id))))
+			queue = append(queue, node{id, nd.depth + 1})
+		}
+	}
+	return db
+}
+
+// FamilyForest returns p (parent) and siblings relations for the §6 young
+// example: families forming complete binary trees of the given depth,
+// replicated count times, with sibling links between tree roots' children.
+// Leaves have no descendants, so they are "young".
+func FamilyForest(count, depth int) *store.DB {
+	db := store.NewDB()
+	base := 0
+	for c := 0; c < count; c++ {
+		last := 1 << depth
+		for i := 1; i < last; i++ {
+			db.Insert(term.NewFact("p", person(base+i), person(base+2*i)))
+			db.Insert(term.NewFact("p", person(base+i), person(base+2*i+1)))
+		}
+		// The root's two children are siblings.
+		db.Insert(term.NewFact("siblings", person(base+2), person(base+3)))
+		db.Insert(term.NewFact("siblings", person(base+3), person(base+2)))
+		base += 1 << (depth + 1)
+	}
+	return db
+}
+
+// TeacherSchedule returns the §4.2 relation r(Teacher, Student, Class,
+// Day) with the given numbers of teachers, students per teacher, and
+// classes per student.
+func TeacherSchedule(teachers, studentsPer, classesPer int, seed int64) *store.DB {
+	r := rand.New(rand.NewSource(seed))
+	days := []string{"mon", "tue", "wed", "thu", "fri"}
+	db := store.NewDB()
+	for t := 0; t < teachers; t++ {
+		for s := 0; s < studentsPer; s++ {
+			for c := 0; c < classesPer; c++ {
+				db.Insert(term.NewFact("r",
+					term.Atom(fmt.Sprintf("t%d", t)),
+					term.Atom(fmt.Sprintf("s%d", t*studentsPer+s)),
+					term.Atom(fmt.Sprintf("c%d", r.Intn(teachers*classesPer))),
+					term.Atom(days[r.Intn(len(days))])))
+			}
+		}
+	}
+	return db
+}
+
+// SetPairs returns pair(S1, S2) facts over random integer sets, for the
+// §5 LPS benchmarks.
+func SetPairs(n, maxCard int, seed int64) *store.DB {
+	r := rand.New(rand.NewSource(seed))
+	db := store.NewDB()
+	mkset := func() *term.Set {
+		card := r.Intn(maxCard + 1)
+		elems := make([]term.Term, card)
+		for i := range elems {
+			elems[i] = term.Int(int64(r.Intn(2 * maxCard)))
+		}
+		return term.NewSet(elems...)
+	}
+	for i := 0; i < n; i++ {
+		db.Insert(term.NewFact("pair", mkset(), mkset()))
+	}
+	return db
+}
+
+// Merge returns a new database containing the facts of all inputs.
+func Merge(dbs ...*store.DB) *store.DB {
+	out := store.NewDB()
+	for _, db := range dbs {
+		out.AddAll(db)
+	}
+	return out
+}

@@ -1,0 +1,18 @@
+package ldl1
+
+import (
+	"ldl1/internal/parser"
+)
+
+// ParseTerm parses a single term from source text, e.g. "{1, f(a), {2}}".
+func ParseTerm(src string) (Term, error) { return parser.ParseTerm(src) }
+
+// MustParseTerm is ParseTerm that panics on error; intended for tests and
+// literals.
+func MustParseTerm(src string) Term {
+	t, err := parser.ParseTerm(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,47 @@
+package ldl1
+
+import (
+	"ldl1/internal/term"
+)
+
+// Term is an LDL1 term: a constant, variable, function term, or finite
+// set.  Ground terms are elements of the universe U of §2.2.  Construct
+// terms with Sym, Num, Text, Func, SetOf and Variable, or parse them from
+// source with ParseTerm.
+type Term = term.Term
+
+// Fact is a ground U-fact p(e1, ..., en).
+type Fact = term.Fact
+
+// Sym returns a symbolic constant, e.g. Sym("john").
+func Sym(name string) Term { return term.Atom(name) }
+
+// Num returns an integer constant.
+func Num(v int64) Term { return term.Int(v) }
+
+// Text returns a string constant.
+func Text(s string) Term { return term.Str(s) }
+
+// Variable returns a logic variable; names conventionally start
+// upper-case.
+func Variable(name string) Term { return term.Var(name) }
+
+// Func returns the function term f(args...).
+func Func(f string, args ...Term) Term { return term.NewCompound(f, args...) }
+
+// SetOf returns the canonical finite set of the given (ground) elements;
+// duplicates are removed.
+func SetOf(elems ...Term) Term { return term.NewSet(elems...) }
+
+// EmptySet is the set {}.
+var EmptySet Term = term.EmptySet
+
+// NewFact builds a ground fact for insertion into a database.
+func NewFact(pred string, args ...Term) *Fact { return term.NewFact(pred, args...) }
+
+// Equal reports structural equality of two terms (equality in U for
+// ground terms).
+func Equal(a, b Term) bool { return term.Equal(a, b) }
+
+// Compare imposes the engine's deterministic total order on terms.
+func Compare(a, b Term) int { return term.Compare(a, b) }
