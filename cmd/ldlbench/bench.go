@@ -1,0 +1,191 @@
+package main
+
+// Machine-readable benchmark mode: `ldlbench -bench BENCH_1.json` times one
+// representative configuration per perf-relevant experiment (E01–E12; E3, E8
+// and E9 are admissibility/semantics checks with nothing to time) through
+// testing.Benchmark and writes a JSON report.  The schema is documented in
+// README.md; files named BENCH_<n>.json at the repo root are committed
+// snapshots for cross-revision comparison.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"ldl1/internal/eval"
+	"ldl1/internal/model"
+	"ldl1/internal/parser"
+	"ldl1/internal/rewrite"
+	"ldl1/internal/store"
+	"ldl1/internal/term"
+	"ldl1/internal/workload"
+)
+
+// benchResult is one row of the JSON report.
+type benchResult struct {
+	ID          string  `json:"id"`
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// DerivedFacts is the number of facts one operation derives;
+	// FactsPerSec = DerivedFacts / (NsPerOp in seconds).  Both are 0 for
+	// operations that derive nothing (model checking).
+	DerivedFacts int64   `json:"derived_facts"`
+	FactsPerSec  float64 `json:"facts_per_sec"`
+}
+
+type benchReport struct {
+	Version   int           `json:"version"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	Results   []benchResult `json:"results"`
+}
+
+// benchEntry names one operation; op returns how many facts it derived.
+type benchEntry struct {
+	id, name string
+	op       func() (int, error)
+}
+
+func evalOp(src string, db *store.DB, strat eval.Strategy) func() (int, error) {
+	p := parser.MustParseProgram(src)
+	return func() (int, error) {
+		var st eval.Stats
+		_, err := eval.Eval(p, db, eval.Options{Strategy: strat, Stats: &st})
+		return st.Derived, err
+	}
+}
+
+func benchEntries() []benchEntry {
+	excl := ancestorRules + `
+		excl_ancestor(X, Y, Z) <- ancestor(X, Y), not ancestor(X, Z), person(Z).
+	`
+	e7prog := parser.MustParseProgram(`
+		q(X) <- p(X), h(X).
+		p(<X>) <- r(X).
+		r(1).
+		h({1}).
+	`)
+	e7model := store.NewDB()
+	for _, r := range parser.MustParseProgram("r(1). h({1}). p({1}). q({1}).").Rules {
+		e7model.Insert(term.NewFact(r.Head.Pred, r.Head.Args...))
+	}
+	e10prog := parser.MustParseProgram(ancestorRules)
+	e10db := workload.ParentChain(32)
+	e11pos, err := rewrite.EliminateNegation(parser.MustParseProgram(excl))
+	if err != nil {
+		panic(err)
+	}
+	e12prog, err := rewrite.Rewrite(parser.MustParseProgram(`
+		pa({{1, 2}, {3}, {4, 5}}). pa({{6}, {7, 8}}).
+		oka(X) <- pa(<<X>>).
+	`))
+	if err != nil {
+		panic(err)
+	}
+
+	return []benchEntry{
+		{"e1", "ancestor-naive-chain-64",
+			evalOp(ancestorRules, workload.ParentChain(64), eval.Naive)},
+		{"e1", "ancestor-seminaive-chain-128",
+			evalOp(ancestorRules, workload.ParentChain(128), eval.SemiNaive)},
+		{"e2", "excl-ancestor-chain-32",
+			evalOp(excl, workload.Persons(workload.ParentChain(32), 32), eval.SemiNaive)},
+		{"e4", "book-deal-books-16",
+			evalOp(`book_deal({X, Y, Z}) <- book(X, Px), book(Y, Py), book(Z, Pz), Px + Py + Pz < 100.`,
+				workload.Books(16, 7), eval.SemiNaive)},
+		{"e5", "grouping-suppliers-256",
+			evalOp(`supplies(S, <P>) <- sp(S, P).`,
+				workload.SupplierParts(256, 8, 11), eval.SemiNaive)},
+		{"e6", "part-cost-depth2-fanout2",
+			evalOp(partCostRules, workload.BOM(2, 2), eval.SemiNaive)},
+		{"e7", "model-check", func() (int, error) {
+			ok, err := model.IsModel(e7prog, e7model)
+			if err == nil && !ok {
+				err = fmt.Errorf("IsModel = false")
+			}
+			return 0, err
+		}},
+		{"e10", "eval-and-verify-chain-32", func() (int, error) {
+			var st eval.Stats
+			m, err := eval.Eval(e10prog, e10db, eval.Options{Stats: &st})
+			if err != nil {
+				return 0, err
+			}
+			ok, err := model.IsModel(e10prog, m)
+			if err == nil && !ok {
+				err = fmt.Errorf("result is not a model")
+			}
+			return st.Derived, err
+		}},
+		{"e11", "neg-elim-original",
+			evalOp(excl, workload.Persons(workload.ParentChain(16), 16), eval.SemiNaive)},
+		{"e11", "neg-elim-positive", func() (int, error) {
+			var st eval.Stats
+			_, err := eval.Eval(e11pos, workload.Persons(workload.ParentChain(16), 16),
+				eval.Options{Stats: &st})
+			return st.Derived, err
+		}},
+		{"e12", "body-patterns", func() (int, error) {
+			var st eval.Stats
+			_, err := eval.Eval(e12prog, store.NewDB(), eval.Options{Stats: &st})
+			return st.Derived, err
+		}},
+	}
+}
+
+// runBenchJSON times every entry and writes the report to path.
+func runBenchJSON(path string) error {
+	// Fail on an unwritable path now, not after minutes of timing.
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	report := benchReport{
+		Version:   1,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, e := range benchEntries() {
+		derived, err := e.op() // warm-up; also yields the derived-facts count
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", e.id, e.name, err)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.op(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		row := benchResult{
+			ID:           e.id,
+			Name:         e.name,
+			NsPerOp:      r.NsPerOp(),
+			AllocsPerOp:  r.AllocsPerOp(),
+			BytesPerOp:   r.AllocedBytesPerOp(),
+			DerivedFacts: int64(derived),
+		}
+		if derived > 0 && r.NsPerOp() > 0 {
+			row.FactsPerSec = float64(derived) * 1e9 / float64(r.NsPerOp())
+		}
+		fmt.Printf("%-4s %-30s %12d ns/op %10d allocs/op %14.0f facts/sec\n",
+			e.id, e.name, row.NsPerOp, row.AllocsPerOp, row.FactsPerSec)
+		report.Results = append(report.Results, row)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := out.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return out.Close()
+}

@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	ldlbench            # run every experiment
-//	ldlbench -exp e15   # run one experiment
-//	ldlbench -list      # list experiments
+//	ldlbench                     # run every experiment
+//	ldlbench -exp e15            # run one experiment
+//	ldlbench -list               # list experiments
+//	ldlbench -bench BENCH_1.json # time experiments, write JSON report
 package main
 
 import (
@@ -44,11 +45,19 @@ var experiments = []experiment{
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "experiment id (e1..e16); empty runs all")
-		list = flag.Bool("list", false, "list experiments")
+		exp   = flag.String("exp", "", "experiment id (e1..e16); empty runs all")
+		list  = flag.Bool("list", false, "list experiments")
+		bench = flag.String("bench", "", "time the perf experiments and write a JSON report to this file")
 	)
 	flag.Parse()
 
+	if *bench != "" {
+		if err := runBenchJSON(*bench); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, e := range experiments {
 			fmt.Printf("%-4s %s\n", e.id, e.title)

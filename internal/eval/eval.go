@@ -263,6 +263,10 @@ func (ex *exec) semiNaiveFixpoint(rules []ast.Rule) error {
 	}
 	var base []variant    // non-recursive rules, run once
 	var recvars []variant // delta variants, run every iteration
+	// Round-0 tasks, planned once here: every rule exactly once — each
+	// recursive rule contributes one task regardless of how many delta
+	// variants it has, so no per-variant dedup is needed later.
+	var recRound0 []ruleTask
 	for _, r := range rules {
 		rec := false
 		for i, l := range r.Body {
@@ -275,11 +279,13 @@ func (ex *exec) semiNaiveFixpoint(rules []ast.Rule) error {
 				rec = true
 			}
 		}
-		if !rec {
-			order, err := planBody(r, -1, nil)
-			if err != nil {
-				return err
-			}
+		order, err := planBody(r, -1, nil)
+		if err != nil {
+			return err
+		}
+		if rec {
+			recRound0 = append(recRound0, ruleTask{rule: r, order: order, deltaSlot: -1})
+		} else {
 			base = append(base, variant{rule: r, dLit: -1, order: order})
 		}
 	}
@@ -296,23 +302,11 @@ func (ex *exec) semiNaiveFixpoint(rules []ast.Rule) error {
 		rel.Insert(f)
 	}
 	ex.bumpIter()
-	var round0 []ruleTask
-	seen := map[string]bool{} // rule identity de-dup for round 0
+	round0 := make([]ruleTask, 0, len(base)+len(recRound0))
 	for _, v := range base {
 		round0 = append(round0, ruleTask{rule: v.rule, order: v.order, deltaSlot: -1})
 	}
-	for _, v := range recvars {
-		key := v.rule.String()
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		order, err := planBody(v.rule, -1, nil)
-		if err != nil {
-			return err
-		}
-		round0 = append(round0, ruleTask{rule: v.rule, order: order, deltaSlot: -1})
-	}
+	round0 = append(round0, recRound0...)
 	if ex.workers > 1 {
 		facts, err := ex.runParallelRound(round0, ex.workers)
 		if err != nil {
@@ -526,10 +520,12 @@ func (ex *exec) applyGroupingRule(r ast.Rule) error {
 		args  []term.Term // head args with nil at the group position
 		elems []term.Term // collected Y values (deduplicated by NewSet)
 		prems []*term.Fact
-		seen  map[string]bool
+		seen  *store.FactSet
 	}
-	classes := map[string]*class{}
-	var classOrder []string
+	// ≡-classes keyed by the combined hash of the non-grouped head values;
+	// the bucket slice resolves hash collisions structurally.
+	classes := map[uint64][]*class{}
+	var classOrder []*class
 
 	b := unify.NewBindings()
 	err = ex.join(r.Body, order, 0, b, func() error {
@@ -537,7 +533,7 @@ func (ex *exec) applyGroupingRule(r ast.Rule) error {
 			ex.stats.Firings++
 		}
 		args := make([]term.Term, len(r.Head.Args))
-		key := ""
+		h := term.HashSeed
 		for i, a := range r.Head.Args {
 			if i == gIdx {
 				continue
@@ -550,7 +546,7 @@ func (ex *exec) applyGroupingRule(r ast.Rule) error {
 				return err
 			}
 			args[i] = v
-			key += v.Key() + "\x00"
+			h = term.HashFold(h, v.Hash())
 		}
 		y, err := unify.Apply(yVar, b)
 		if err != nil {
@@ -559,20 +555,25 @@ func (ex *exec) applyGroupingRule(r ast.Rule) error {
 			}
 			return err
 		}
-		c, ok := classes[key]
-		if !ok {
+		var c *class
+		for _, cand := range classes[h] {
+			if term.EqualTermsExcept(cand.args, args, gIdx) {
+				c = cand
+				break
+			}
+		}
+		if c == nil {
 			c = &class{args: args}
 			if ex.prov != nil {
-				c.seen = map[string]bool{}
+				c.seen = store.NewFactSet()
 			}
-			classes[key] = c
-			classOrder = append(classOrder, key)
+			classes[h] = append(classes[h], c)
+			classOrder = append(classOrder, c)
 		}
 		c.elems = append(c.elems, y)
 		if ex.prov != nil {
 			for _, f := range ex.trail {
-				if !c.seen[f.Key()] {
-					c.seen[f.Key()] = true
+				if c.seen.Add(f) {
 					c.prems = append(c.prems, f)
 				}
 			}
@@ -582,8 +583,7 @@ func (ex *exec) applyGroupingRule(r ast.Rule) error {
 	if err != nil {
 		return err
 	}
-	for _, key := range classOrder {
-		c := classes[key]
+	for _, c := range classOrder {
 		args := make([]term.Term, len(c.args))
 		copy(args, c.args)
 		args[gIdx] = term.NewSet(c.elems...)
@@ -610,22 +610,44 @@ func Solve(body []ast.Literal, db *store.DB) ([]map[term.Var]term.Term, error) {
 	}
 	ex := &exec{db: db, deltaSlot: -1}
 	var out []map[term.Var]term.Term
-	seen := map[string]bool{}
+	// Solution tuples keyed by the combined hash of their bindings; the
+	// bucket resolves collisions by structural comparison.
+	seen := map[uint64][]map[term.Var]term.Term{}
 	vars := r.Vars()
 	b := unify.NewBindings()
 	err = ex.join(body, order, 0, b, func() error {
-		key := ""
+		h := term.HashSeed
 		for _, v := range vars {
 			if t, ok := b.Lookup(v); ok {
-				key += string(v) + "=" + t.Key() + "\x00"
+				h = term.HashFold(h, v.Hash())
+				h = term.HashFold(h, t.Hash())
 			}
 		}
-		if seen[key] {
-			return nil
+		for _, snap := range seen[h] {
+			if sameSolution(snap, b, vars) {
+				return nil
+			}
 		}
-		seen[key] = true
-		out = append(out, b.Snapshot())
+		snap := b.Snapshot()
+		seen[h] = append(seen[h], snap)
+		out = append(out, snap)
 		return nil
 	})
 	return out, err
+}
+
+// sameSolution reports whether the snapshot binds the query variables
+// exactly as the live bindings do.
+func sameSolution(snap map[term.Var]term.Term, b *unify.Bindings, vars []term.Var) bool {
+	for _, v := range vars {
+		t, ok := b.Lookup(v)
+		s, sok := snap[v]
+		if ok != sok {
+			return false
+		}
+		if ok && !term.Equal(t, s) {
+			return false
+		}
+	}
+	return true
 }

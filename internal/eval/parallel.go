@@ -54,7 +54,7 @@ func (ex *exec) runParallelRound(tasks []ruleTask, workers int) ([]*term.Fact, e
 	wg.Wait()
 
 	var out []*term.Fact
-	seen := map[string]bool{}
+	seen := store.NewFactSet()
 	for _, r := range results {
 		if r.err != nil {
 			return nil, r.err
@@ -63,8 +63,8 @@ func (ex *exec) runParallelRound(tasks []ruleTask, workers int) ([]*term.Fact, e
 			ex.stats.Firings += r.firings
 		}
 		for _, f := range r.facts {
-			if !seen[f.Key()] && !ex.db.Contains(f) {
-				seen[f.Key()] = true
+			if !seen.Contains(f) && !ex.db.Contains(f) {
+				seen.Add(f)
 				out = append(out, f)
 			}
 		}
@@ -77,7 +77,7 @@ func (ex *exec) runParallelRound(tasks []ruleTask, workers int) ([]*term.Fact, e
 // parallel rounds (they run once at layer entry).
 func (ex *exec) collectRule(r ast.Rule, order []int) ([]*term.Fact, int, error) {
 	var out []*term.Fact
-	local := map[string]bool{}
+	local := store.NewFactSet()
 	firings := 0
 	b := newBindings()
 	err := ex.join(r.Body, order, 0, b, func() error {
@@ -89,8 +89,8 @@ func (ex *exec) collectRule(r ast.Rule, order []int) ([]*term.Fact, int, error) 
 		if f == nil {
 			return nil // binding not applicable (outside U)
 		}
-		if !local[f.Key()] && !ex.db.Contains(f) {
-			local[f.Key()] = true
+		if !local.Contains(f) && !ex.db.Contains(f) {
+			local.Add(f)
 			out = append(out, f)
 		}
 		return nil
@@ -99,7 +99,9 @@ func (ex *exec) collectRule(r ast.Rule, order []int) ([]*term.Fact, int, error) 
 }
 
 // chunkRelation splits a delta relation into up to n roughly equal pieces;
-// small relations are returned whole.
+// small relations are returned whole.  Delta facts are already distinct, so
+// chunks use the no-dedup construction: no per-chunk bucket maps are built
+// only to be thrown away after the round.
 func chunkRelation(d *store.Relation, n int, useIdx bool) []*store.Relation {
 	facts := d.All()
 	if n <= 1 || len(facts) < 2*n {
@@ -112,11 +114,7 @@ func chunkRelation(d *store.Relation, n int, useIdx bool) []*store.Relation {
 		if end > len(facts) {
 			end = len(facts)
 		}
-		chunk := store.NewRelation(d.Name, useIdx)
-		for _, f := range facts[start:end] {
-			chunk.Insert(f)
-		}
-		out = append(out, chunk)
+		out = append(out, store.NewChunk(d.Name, facts[start:end], useIdx))
 	}
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"ldl1/internal/store"
 	"ldl1/internal/term"
 )
 
@@ -20,31 +21,44 @@ type Derivation struct {
 }
 
 // Provenance collects one Derivation per derived fact when attached to
-// Options.
+// Options.  Derivations are bucketed by the fact's structural hash;
+// collisions are resolved by term.EqualFacts.
 type Provenance struct {
-	m map[string]*Derivation
+	m map[uint64][]*Derivation
+	n int
 }
 
 // NewProvenance creates an empty provenance store.
 func NewProvenance() *Provenance {
-	return &Provenance{m: map[string]*Derivation{}}
+	return &Provenance{m: map[uint64][]*Derivation{}}
+}
+
+func (p *Provenance) lookup(f *term.Fact) *Derivation {
+	for _, d := range p.m[f.Hash()] {
+		if term.EqualFacts(d.Fact, f) {
+			return d
+		}
+	}
+	return nil
 }
 
 func (p *Provenance) record(d *Derivation) {
-	key := d.Fact.Key()
-	if _, ok := p.m[key]; !ok {
-		p.m[key] = d
+	if p.lookup(d.Fact) != nil {
+		return
 	}
+	h := d.Fact.Hash()
+	p.m[h] = append(p.m[h], d)
+	p.n++
 }
 
 // Of returns the derivation of a fact, if one was recorded.
 func (p *Provenance) Of(f *term.Fact) (*Derivation, bool) {
-	d, ok := p.m[f.Key()]
-	return d, ok
+	d := p.lookup(f)
+	return d, d != nil
 }
 
 // Len returns the number of recorded derivations.
-func (p *Provenance) Len() int { return len(p.m) }
+func (p *Provenance) Len() int { return p.n }
 
 // Explain renders a proof tree for the fact: the rule that derived it and,
 // recursively, the derivations of its premises.  Extensional facts are
@@ -52,23 +66,22 @@ func (p *Provenance) Len() int { return len(p.m) }
 // and premises were present before the conclusion).
 func (p *Provenance) Explain(f *term.Fact) string {
 	var b strings.Builder
-	seen := map[string]bool{}
+	seen := store.NewFactSet()
 	p.explain(&b, f, 0, seen)
 	return strings.TrimRight(b.String(), "\n")
 }
 
-func (p *Provenance) explain(b *strings.Builder, f *term.Fact, depth int, seen map[string]bool) {
+func (p *Provenance) explain(b *strings.Builder, f *term.Fact, depth int, seen *store.FactSet) {
 	indent := strings.Repeat("  ", depth)
-	d, ok := p.m[f.Key()]
-	if !ok {
+	d := p.lookup(f)
+	if d == nil {
 		fmt.Fprintf(b, "%s%s.   [given]\n", indent, f)
 		return
 	}
-	if seen[f.Key()] {
+	if !seen.Add(f) {
 		fmt.Fprintf(b, "%s%s.   [shown above]\n", indent, f)
 		return
 	}
-	seen[f.Key()] = true
 	switch {
 	case d.Rule == "":
 		fmt.Fprintf(b, "%s%s.   [fact]\n", indent, f)

@@ -126,7 +126,8 @@ func AnswerWithout(p *ast.Program, edb *store.DB, query parser.Query, opts eval.
 }
 
 // SameSolutions reports whether two solution lists bind the query's
-// variables identically (as sets of tuples).
+// variables identically (as sets of tuples).  Tuples are bucketed by their
+// combined structural hash and compared structurally, never through Key().
 func SameSolutions(a, b []map[term.Var]term.Term, q parser.Query) bool {
 	vars := map[term.Var]bool{}
 	var order []term.Var
@@ -138,32 +139,82 @@ func SameSolutions(a, b []map[term.Var]term.Term, q parser.Query) bool {
 			}
 		}
 	}
-	key := func(sol map[term.Var]term.Term) string {
-		out := ""
-		for _, v := range order {
-			if t, ok := sol[v]; ok {
-				out += string(v) + "=" + t.Key() + ";"
-			}
-		}
-		return out
-	}
-	as := map[string]bool{}
+	as := newSolutionSet(order)
 	for _, s := range a {
-		as[key(s)] = true
+		as.add(s)
 	}
-	bs := map[string]bool{}
+	bs := newSolutionSet(order)
 	for _, s := range b {
-		bs[key(s)] = true
+		bs.add(s)
 	}
-	if len(as) != len(bs) {
+	if as.n != bs.n {
 		return false
 	}
-	for k := range as {
-		if !bs[k] {
+	for _, bucket := range as.m {
+		for _, sol := range bucket {
+			if !bs.contains(sol) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// solutionSet is a set of solution tuples over a fixed variable order,
+// bucketed by combined term hash with structural collision handling.
+type solutionSet struct {
+	order []term.Var
+	m     map[uint64][]map[term.Var]term.Term
+	n     int
+}
+
+func newSolutionSet(order []term.Var) *solutionSet {
+	return &solutionSet{order: order, m: map[uint64][]map[term.Var]term.Term{}}
+}
+
+func (s *solutionSet) hash(sol map[term.Var]term.Term) uint64 {
+	h := term.HashSeed
+	for _, v := range s.order {
+		if t, ok := sol[v]; ok {
+			h = term.HashFold(h, v.Hash())
+			h = term.HashFold(h, t.Hash())
+		}
+	}
+	return h
+}
+
+func (s *solutionSet) same(a, b map[term.Var]term.Term) bool {
+	for _, v := range s.order {
+		x, xok := a[v]
+		y, yok := b[v]
+		if xok != yok {
+			return false
+		}
+		if xok && !term.Equal(x, y) {
 			return false
 		}
 	}
 	return true
+}
+
+func (s *solutionSet) contains(sol map[term.Var]term.Term) bool {
+	for _, got := range s.m[s.hash(sol)] {
+		if s.same(got, sol) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *solutionSet) add(sol map[term.Var]term.Term) {
+	h := s.hash(sol)
+	for _, got := range s.m[h] {
+		if s.same(got, sol) {
+			return
+		}
+	}
+	s.m[h] = append(s.m[h], sol)
+	s.n++
 }
 
 // ParseAndAnswer is a convenience wrapper: parse source containing rules,

@@ -107,11 +107,13 @@ func checkGroupingRule(r ast.Rule, m *store.DB) (*Violation, error) {
 		args  []term.Term
 		elems []term.Term
 	}
-	classes := map[string]*class{}
-	var order []string
+	// ≡-classes keyed by the combined hash of the non-grouped head values;
+	// the bucket slice resolves hash collisions structurally.
+	classes := map[uint64][]*class{}
+	var order []*class
 	err := forEachBodySolution(r, m, func(b *unify.Bindings) error {
 		args := make([]term.Term, len(r.Head.Args))
-		key := ""
+		h := term.HashSeed
 		for i, a := range r.Head.Args {
 			if i == gIdx {
 				continue
@@ -121,17 +123,23 @@ func checkGroupingRule(r ast.Rule, m *store.DB) (*Violation, error) {
 				return nil
 			}
 			args[i] = v
-			key += v.Key() + "\x00"
+			h = term.HashFold(h, v.Hash())
 		}
 		y, err := unify.Apply(yVar, b)
 		if err != nil {
 			return nil
 		}
-		c, ok := classes[key]
-		if !ok {
+		var c *class
+		for _, cand := range classes[h] {
+			if term.EqualTermsExcept(cand.args, args, gIdx) {
+				c = cand
+				break
+			}
+		}
+		if c == nil {
 			c = &class{args: args}
-			classes[key] = c
-			order = append(order, key)
+			classes[h] = append(classes[h], c)
+			order = append(order, c)
 		}
 		c.elems = append(c.elems, y)
 		return nil
@@ -139,8 +147,7 @@ func checkGroupingRule(r ast.Rule, m *store.DB) (*Violation, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, key := range order {
-		c := classes[key]
+	for _, c := range order {
 		args := make([]term.Term, len(c.args))
 		copy(args, c.args)
 		args[gIdx] = term.NewSet(c.elems...)

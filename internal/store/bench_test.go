@@ -1,0 +1,124 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"ldl1/internal/term"
+)
+
+// Micro-benchmarks for the hash-identity storage layer: fact interning
+// (Insert/InsertGet), membership (Contains), indexed and scanned Lookup, and
+// the FactSet used by the evaluator's dedup paths.  The E* families in the
+// repo root measure end-to-end evaluation; these isolate the store.
+
+func benchFacts(n int) []*term.Fact {
+	out := make([]*term.Fact, n)
+	for i := 0; i < n; i++ {
+		out[i] = term.NewFact("edge", term.Int(i%97), term.Int(i), term.Atom(fmt.Sprintf("n%d", i)))
+	}
+	return out
+}
+
+func BenchmarkStoreInsert(b *testing.B) {
+	for _, n := range []int{100, 10000} {
+		facts := benchFacts(n)
+		b.Run(fmt.Sprintf("facts-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := NewRelation("edge", false)
+				for _, f := range facts {
+					r.Insert(f)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStoreInsertDuplicates(b *testing.B) {
+	facts := benchFacts(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := NewRelation("edge", false)
+		for round := 0; round < 4; round++ {
+			for _, f := range facts {
+				r.Insert(f)
+			}
+		}
+	}
+}
+
+func BenchmarkStoreContains(b *testing.B) {
+	facts := benchFacts(10000)
+	r := NewRelation("edge", false)
+	for _, f := range facts {
+		r.Insert(f)
+	}
+	probe := benchFacts(10000) // equal values, distinct pointers: no identity shortcut
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !r.Contains(probe[i%len(probe)]) {
+			b.Fatal("missing fact")
+		}
+	}
+}
+
+func BenchmarkStoreLookup(b *testing.B) {
+	facts := benchFacts(10000)
+	for _, useIdx := range []bool{true, false} {
+		name := "indexed"
+		if !useIdx {
+			name = "scan"
+		}
+		b.Run(name, func(b *testing.B) {
+			r := NewRelation("edge", useIdx)
+			for _, f := range facts {
+				r.Insert(f)
+			}
+			r.Lookup(0, term.Int(0)) // build the lazy index outside the timer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := r.Lookup(0, term.Int(i%97)); len(got) == 0 {
+					b.Fatal("empty lookup")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStoreFactSetAdd(b *testing.B) {
+	facts := benchFacts(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewFactSet()
+		for _, f := range facts {
+			s.Add(f)
+		}
+		for _, f := range facts {
+			if s.Add(f) {
+				b.Fatal("duplicate accepted")
+			}
+		}
+	}
+}
+
+func BenchmarkStoreDBEqual(b *testing.B) {
+	facts := benchFacts(5000)
+	mk := func() *DB {
+		db := NewDB()
+		for _, f := range facts {
+			db.Insert(f)
+		}
+		return db
+	}
+	x, y := mk(), mk()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !x.Equal(y) {
+			b.Fatal("databases differ")
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ldl1/internal/term"
+)
+
+// forceCollisions replaces the package hash hooks with degenerate constant
+// hashes so every fact and every index value lands in the same bucket, and
+// returns a restore function.  Correctness must not depend on hash quality:
+// with all hashes equal, Insert/Contains/Lookup fall back entirely on the
+// structural equality tie-breakers.
+func forceCollisions(t *testing.T) func() {
+	t.Helper()
+	oldF, oldT := hashFact, hashTerm
+	hashFact = func(*term.Fact) uint64 { return 42 }
+	hashTerm = func(term.Term) uint64 { return 7 }
+	return func() { hashFact, hashTerm = oldF, oldT }
+}
+
+func TestRelationAllHashesCollide(t *testing.T) {
+	defer forceCollisions(t)()
+
+	r := NewRelation("p", true)
+	n := 100
+	for i := 0; i < n; i++ {
+		if !r.Insert(term.NewFact("p", term.Int(i), term.Atom(fmt.Sprintf("a%d", i)))) {
+			t.Fatalf("fact %d reported as duplicate", i)
+		}
+	}
+	// Re-inserting every fact must report duplicates, not grow the relation.
+	for i := 0; i < n; i++ {
+		if r.Insert(term.NewFact("p", term.Int(i), term.Atom(fmt.Sprintf("a%d", i)))) {
+			t.Fatalf("re-inserted fact %d reported as new", i)
+		}
+	}
+	if r.Len() != n {
+		t.Fatalf("Len = %d, want %d", r.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		f := term.NewFact("p", term.Int(i), term.Atom(fmt.Sprintf("a%d", i)))
+		if !r.Contains(f) {
+			t.Fatalf("Contains(%s) = false", f)
+		}
+		g, ok := r.Get(f)
+		if !ok || !term.EqualFacts(g, f) {
+			t.Fatalf("Get(%s) = %v, %v", f, g, ok)
+		}
+	}
+	if r.Contains(term.NewFact("p", term.Int(n), term.Atom("nope"))) {
+		t.Fatal("Contains reported an absent fact")
+	}
+}
+
+func TestLookupAllHashesCollide(t *testing.T) {
+	defer forceCollisions(t)()
+
+	for _, useIdx := range []bool{true, false} {
+		r := NewRelation("edge", useIdx)
+		// 10 distinct column-0 values, 10 facts each — all in one hash chain.
+		for v := 0; v < 10; v++ {
+			for j := 0; j < 10; j++ {
+				r.Insert(term.NewFact("edge", term.Int(v), term.Int(100*v+j)))
+			}
+		}
+		for v := 0; v < 10; v++ {
+			got := r.Lookup(0, term.Int(v))
+			if len(got) != 10 {
+				t.Fatalf("useIdx=%v: Lookup(0, %d) returned %d facts, want 10", useIdx, v, len(got))
+			}
+			for _, f := range got {
+				if !term.Equal(f.Args[0], term.Int(v)) {
+					t.Fatalf("useIdx=%v: Lookup(0, %d) returned stray fact %s", useIdx, v, f)
+				}
+			}
+		}
+		if got := r.Lookup(0, term.Int(99)); len(got) != 0 {
+			t.Fatalf("useIdx=%v: Lookup of absent value returned %d facts", useIdx, len(got))
+		}
+	}
+}
+
+func TestFactSetAllHashesCollide(t *testing.T) {
+	defer forceCollisions(t)()
+
+	s := NewFactSet()
+	for i := 0; i < 50; i++ {
+		if !s.Add(term.NewFact("q", term.Int(i))) {
+			t.Fatalf("Add(%d) reported duplicate", i)
+		}
+		if s.Add(term.NewFact("q", term.Int(i))) {
+			t.Fatalf("second Add(%d) reported new", i)
+		}
+	}
+	if s.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", s.Len())
+	}
+	for i := 0; i < 50; i++ {
+		if !s.Contains(term.NewFact("q", term.Int(i))) {
+			t.Fatalf("Contains(%d) = false", i)
+		}
+	}
+	if s.Contains(term.NewFact("q", term.Int(50))) {
+		t.Fatal("Contains reported an absent fact")
+	}
+}
+
+// randTerm generates a random ground U-term: atoms, integers, strings, and
+// nested compounds and sets up to the given depth.
+func randTerm(rng *rand.Rand, depth int) term.Term {
+	kind := rng.Intn(5)
+	if depth == 0 && kind >= 3 {
+		kind = rng.Intn(3)
+	}
+	switch kind {
+	case 0:
+		return term.Atom(fmt.Sprintf("a%d", rng.Intn(8)))
+	case 1:
+		return term.Int(rng.Intn(8))
+	case 2:
+		return term.Str(fmt.Sprintf("s%d", rng.Intn(8)))
+	case 3:
+		n := rng.Intn(3) + 1
+		args := make([]term.Term, n)
+		for i := range args {
+			args[i] = randTerm(rng, depth-1)
+		}
+		return term.NewCompound(fmt.Sprintf("f%d", rng.Intn(3)), args...)
+	default:
+		n := rng.Intn(4)
+		elems := make([]term.Term, n)
+		for i := range elems {
+			elems[i] = randTerm(rng, depth-1)
+		}
+		return term.NewSet(elems...)
+	}
+}
+
+func randFact(rng *rand.Rand) *term.Fact {
+	n := rng.Intn(3) + 1
+	args := make([]term.Term, n)
+	for i := range args {
+		args[i] = randTerm(rng, 2)
+	}
+	return term.NewFact(fmt.Sprintf("p%d", rng.Intn(4)), args...)
+}
+
+// TestDBEqualMatchesKeyEquality cross-checks the hash-based DB.Equal against
+// the renderer: two databases are equal exactly when their sorted Key sets
+// coincide.  The narrow value ranges make duplicate and near-duplicate terms
+// (including sets differing only in element order) common.
+func TestDBEqualMatchesKeyEquality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		a, b := NewDB(), NewDB()
+		keysA, keysB := map[string]bool{}, map[string]bool{}
+		for i := rng.Intn(30); i > 0; i-- {
+			f := randFact(rng)
+			a.Insert(f)
+			keysA[f.Key()] = true
+		}
+		for i := rng.Intn(30); i > 0; i-- {
+			f := randFact(rng)
+			b.Insert(f)
+			keysB[f.Key()] = true
+		}
+		// Half the trials: force equality by copying a into b.
+		if trial%2 == 0 {
+			b, keysB = NewDB(), map[string]bool{}
+			for _, f := range a.Facts() {
+				b.Insert(f)
+				keysB[f.Key()] = true
+			}
+		}
+		wantEq := len(keysA) == len(keysB)
+		if wantEq {
+			for k := range keysA {
+				if !keysB[k] {
+					wantEq = false
+					break
+				}
+			}
+		}
+		if got := a.Equal(b); got != wantEq {
+			t.Fatalf("trial %d: DB.Equal = %v, key-based equality = %v\nA:\n%s\nB:\n%s",
+				trial, got, wantEq, a, b)
+		}
+		// Per-fact cross-check: Contains must agree with key membership.
+		for _, f := range a.Facts() {
+			if b.Contains(f) != keysB[f.Key()] {
+				t.Fatalf("trial %d: Contains(%s) = %v, key lookup = %v",
+					trial, f, b.Contains(f), keysB[f.Key()])
+			}
+		}
+	}
+}
+
+// TestInsertGetInterns verifies that InsertGet returns one canonical pointer
+// per distinct fact value.
+func TestInsertGetInterns(t *testing.T) {
+	r := NewRelation("p", false)
+	f1 := term.NewFact("p", term.Int(1), term.NewSet(term.Int(2), term.Int(3)))
+	f2 := term.NewFact("p", term.Int(1), term.NewSet(term.Int(3), term.Int(2), term.Int(2)))
+
+	got1, added := r.InsertGet(f1)
+	if !added || got1 != f1 {
+		t.Fatalf("first InsertGet = %v, %v", got1, added)
+	}
+	got2, added := r.InsertGet(f2)
+	if added {
+		t.Fatal("duplicate set-valued fact reported as new")
+	}
+	if got2 != f1 {
+		t.Fatalf("InsertGet did not intern: got %p, want canonical %p", got2, f1)
+	}
+}

@@ -1,0 +1,81 @@
+package store
+
+import "ldl1/internal/term"
+
+// factTable is an open-addressed hash table of interned facts: the fact
+// identity structure behind Relation and FactSet.  Compared with a Go map
+// keyed by hash, it stores one pointer per entry (no per-bucket slice
+// allocations), probes linearly with the memoized structural hash, and
+// never rehashes strings.  Collisions — distinct facts sharing a 64-bit
+// hash — simply probe past each other and are told apart by
+// term.EqualFacts.  No deletion is supported (relations only grow).
+type factTable struct {
+	entries []*term.Fact // power-of-two sized; nil slots are empty
+	n       int
+}
+
+const factTableMinSize = 8
+
+func newFactTable(hint int) *factTable {
+	size := factTableMinSize
+	for size*3 < hint*4 { // initial load below 3/4
+		size *= 2
+	}
+	return &factTable{entries: make([]*term.Fact, size)}
+}
+
+// get returns the interned fact equal to f (whose hash is h), or nil.
+func (t *factTable) get(h uint64, f *term.Fact) *term.Fact {
+	if len(t.entries) == 0 {
+		return nil
+	}
+	mask := uint64(len(t.entries) - 1)
+	for i := h & mask; t.entries[i] != nil; i = (i + 1) & mask {
+		if g := t.entries[i]; hashFact(g) == h && term.EqualFacts(g, f) {
+			return g
+		}
+	}
+	return nil
+}
+
+// insert places f (whose hash is h) into the table.  The caller must have
+// checked with get that no equal fact is present.
+func (t *factTable) insert(h uint64, f *term.Fact) {
+	if (t.n+1)*4 > len(t.entries)*3 {
+		t.grow()
+	}
+	mask := uint64(len(t.entries) - 1)
+	i := h & mask
+	for t.entries[i] != nil {
+		i = (i + 1) & mask
+	}
+	t.entries[i] = f
+	t.n++
+}
+
+func (t *factTable) grow() {
+	old := t.entries
+	size := len(old) * 2
+	if size < factTableMinSize {
+		size = factTableMinSize
+	}
+	t.entries = make([]*term.Fact, size)
+	mask := uint64(size - 1)
+	for _, f := range old {
+		if f == nil {
+			continue
+		}
+		i := hashFact(f) & mask
+		for t.entries[i] != nil {
+			i = (i + 1) & mask
+		}
+		t.entries[i] = f
+	}
+}
+
+// clone returns an independent copy of the table.
+func (t *factTable) clone() *factTable {
+	entries := make([]*term.Fact, len(t.entries))
+	copy(entries, t.entries)
+	return &factTable{entries: entries, n: t.n}
+}

@@ -1,6 +1,14 @@
 // Package store holds sets of U-facts: per-predicate relations with
 // duplicate elimination, insertion-order iteration, and lazily built
 // per-column hash indexes used by the join evaluator.
+//
+// Fact identity is hash-based: facts live in buckets keyed by their
+// memoized 64-bit structural hash (term.Fact.Hash), and the rare hash
+// collision is resolved by the structural term.EqualFacts.  The string
+// Key() encoding is never built on these paths.  Inserting returns the
+// relation's canonical *term.Fact for the value, so downstream consumers
+// (deltas, indexes, provenance) share one interned fact pointer per U-fact
+// and equality checks usually short-circuit on pointer identity.
 package store
 
 import (
@@ -11,6 +19,32 @@ import (
 	"ldl1/internal/term"
 )
 
+// hashFact and hashTerm route all identity hashing in this package.  They
+// are variables only so collision tests can replace them with degenerate
+// hashes and drive every fact into one bucket; production code always uses
+// the memoized structural hashes.
+var (
+	hashFact = (*term.Fact).Hash
+	hashTerm = term.Term.Hash
+)
+
+// idxEntry is one distinct column value in a per-column index: the facts
+// whose argument equals value, plus a chain link for the (astronomically
+// rare) case of two distinct values sharing a hash.
+type idxEntry struct {
+	value term.Term
+	facts []*term.Fact
+	next  *idxEntry
+}
+
+// colIndex is the lazily built hash index for one argument column.  A slice
+// of these beats a map[int]... because relations index at most a handful of
+// columns and Insert walks all of them on every call.
+type colIndex struct {
+	col int
+	m   map[uint64]*idxEntry // arg hash → value chain
+}
+
 // Relation is a set of U-facts for one predicate.
 //
 // Concurrency: Insert is single-writer; Lookup and All may run from many
@@ -20,9 +54,9 @@ import (
 type Relation struct {
 	Name    string
 	facts   []*term.Fact // insertion order
-	byKey   map[string]*term.Fact
+	table   *factTable   // interned fact identity; nil for chunks until first Insert
 	mu      sync.Mutex
-	indexes map[int]map[string][]*term.Fact // column → arg key → facts
+	indexes []colIndex
 	useIdx  bool
 }
 
@@ -30,9 +64,18 @@ type Relation struct {
 func NewRelation(name string, useIndexes bool) *Relation {
 	return &Relation{
 		Name:   name,
-		byKey:  make(map[string]*term.Fact),
+		table:  newFactTable(0),
 		useIdx: useIndexes,
 	}
+}
+
+// NewChunk wraps a slice of already-distinct facts as a relation without
+// building the dedup buckets — the cheap construction used for delta
+// chunks, which are consumed by one round of joins and discarded.  The
+// facts slice is owned by the chunk.  Insert still works: the first call
+// rebuilds the buckets from the existing facts.
+func NewChunk(name string, facts []*term.Fact, useIndexes bool) *Relation {
+	return &Relation{Name: name, facts: facts[:len(facts):len(facts)], useIdx: useIndexes}
 }
 
 // Len returns the number of facts.
@@ -44,23 +87,64 @@ func (r *Relation) All() []*term.Fact { return r.facts }
 
 // Contains reports whether the relation holds the fact.
 func (r *Relation) Contains(f *term.Fact) bool {
-	_, ok := r.byKey[f.Key()]
-	return ok
+	g, _ := r.Get(f)
+	return g != nil
+}
+
+// Get returns the relation's canonical fact equal to f, or nil.
+func (r *Relation) Get(f *term.Fact) (*term.Fact, bool) {
+	if r.table == nil {
+		r.rebuildTable()
+	}
+	g := r.table.get(hashFact(f), f)
+	return g, g != nil
 }
 
 // Insert adds the fact, reporting whether it was new.
 func (r *Relation) Insert(f *term.Fact) bool {
-	k := f.Key()
-	if _, ok := r.byKey[k]; ok {
-		return false
+	_, added := r.InsertGet(f)
+	return added
+}
+
+// InsertGet adds the fact if new, returning the relation's canonical
+// (interned) fact for the value and whether f was newly added.
+func (r *Relation) InsertGet(f *term.Fact) (*term.Fact, bool) {
+	if r.table == nil {
+		r.rebuildTable()
 	}
-	r.byKey[k] = f
+	h := hashFact(f)
+	if g := r.table.get(h, f); g != nil {
+		return g, false
+	}
+	r.table.insert(h, f)
 	r.facts = append(r.facts, f)
-	for col, idx := range r.indexes {
-		ak := f.Args[col].Key()
-		idx[ak] = append(idx[ak], f)
+	for i := range r.indexes {
+		if col := r.indexes[i].col; col < len(f.Args) {
+			indexAdd(r.indexes[i].m, f.Args[col], f)
+		}
 	}
-	return true
+	return f, true
+}
+
+// rebuildTable constructs the interning table from the fact slice; only
+// chunk relations (NewChunk) ever take this path, and only if someone
+// inserts into them after construction.
+func (r *Relation) rebuildTable() {
+	r.table = newFactTable(len(r.facts))
+	for _, g := range r.facts {
+		r.table.insert(hashFact(g), g)
+	}
+}
+
+func indexAdd(idx map[uint64]*idxEntry, v term.Term, f *term.Fact) {
+	h := hashTerm(v)
+	for e := idx[h]; e != nil; e = e.next {
+		if term.Equal(e.value, v) {
+			e.facts = append(e.facts, f)
+			return
+		}
+	}
+	idx[h] = &idxEntry{value: v, facts: []*term.Fact{f}, next: idx[h]}
 }
 
 // Lookup returns the facts whose argument at column col equals value.  With
@@ -77,22 +161,29 @@ func (r *Relation) Lookup(col int, value term.Term) []*term.Fact {
 		return out
 	}
 	r.mu.Lock()
-	idx, ok := r.indexes[col]
-	if !ok {
-		idx = make(map[string][]*term.Fact, len(r.facts))
+	var idx map[uint64]*idxEntry
+	for i := range r.indexes {
+		if r.indexes[i].col == col {
+			idx = r.indexes[i].m
+			break
+		}
+	}
+	if idx == nil {
+		idx = make(map[uint64]*idxEntry, len(r.facts))
 		for _, f := range r.facts {
 			if col < len(f.Args) {
-				ak := f.Args[col].Key()
-				idx[ak] = append(idx[ak], f)
+				indexAdd(idx, f.Args[col], f)
 			}
 		}
-		if r.indexes == nil {
-			r.indexes = make(map[int]map[string][]*term.Fact)
-		}
-		r.indexes[col] = idx
+		r.indexes = append(r.indexes, colIndex{col: col, m: idx})
 	}
 	r.mu.Unlock()
-	return idx[value.Key()]
+	for e := idx[hashTerm(value)]; e != nil; e = e.next {
+		if term.Equal(e.value, value) {
+			return e.facts
+		}
+	}
+	return nil
 }
 
 // DB is a database: a set of U-facts grouped into relations.
@@ -167,8 +258,10 @@ func (db *DB) Clone() *DB {
 		r := db.rels[p]
 		nr := out.Rel(p)
 		nr.facts = append(nr.facts, r.facts...)
-		for k, f := range r.byKey {
-			nr.byKey[k] = f
+		if r.table == nil {
+			nr.rebuildTable()
+		} else {
+			nr.table = r.table.clone()
 		}
 	}
 	return out

@@ -8,18 +8,24 @@ type Fact struct {
 	Pred string
 	Args []Term
 
-	key string
+	key    string
+	keySet bool
+	hash   uint64
 }
 
-// NewFact builds a U-fact.
+// NewFact builds a U-fact, computing the structural hash eagerly so the
+// fact can be shared across goroutines without lazy writes.
 func NewFact(pred string, args ...Term) *Fact {
-	return &Fact{Pred: pred, Args: args}
+	f := &Fact{Pred: pred, Args: args}
+	f.Hash()
+	return f
 }
 
 // Key returns a canonical encoding of the fact; two facts are the same
-// U-fact iff their keys are equal.
+// U-fact iff their keys are equal.  Key is for rendering and tests; fact
+// identity on hot paths goes through Hash and EqualFacts.
 func (f *Fact) Key() string {
-	if f.key == "" {
+	if !f.keySet {
 		var b strings.Builder
 		b.WriteString(f.Pred)
 		b.WriteByte('/')
@@ -30,6 +36,7 @@ func (f *Fact) Key() string {
 			b.WriteString(a.Key())
 		}
 		f.key = b.String()
+		f.keySet = true
 	}
 	return f.key
 }
@@ -52,7 +59,28 @@ func (f *Fact) String() string {
 }
 
 // Equal reports whether f and g are the same U-fact.
-func (f *Fact) Equal(g *Fact) bool { return f.Key() == g.Key() }
+func (f *Fact) Equal(g *Fact) bool { return EqualFacts(f, g) }
+
+// EqualFacts reports whether f and g are the same U-fact: same predicate
+// symbol and pairwise-equal arguments.  Allocation-free; memoized hashes
+// are compared first, so distinct facts almost always part in O(1).
+func EqualFacts(f, g *Fact) bool {
+	if f == g {
+		return true
+	}
+	if f.hash != 0 && g.hash != 0 && f.hash != g.hash {
+		return false
+	}
+	if f.Pred != g.Pred || len(f.Args) != len(g.Args) {
+		return false
+	}
+	for i := range f.Args {
+		if !Equal(f.Args[i], g.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
 
 // Dominated reports the paper's basic fact dominance e ≤ e' (§2.4): both
 // facts use the same predicate and arity, and argument-wise, set arguments

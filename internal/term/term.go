@@ -51,8 +51,12 @@ type Term interface {
 	Kind() Kind
 	// Key returns a canonical encoding of the term.  Two terms are equal
 	// (as elements of U, or syntactically for non-ground terms) iff their
-	// keys are equal.
+	// keys are equal.  Key is for rendering, debugging and tests; identity
+	// on hot paths (store, eval) goes through Hash and Equal.
 	Key() string
+	// Hash returns a structural 64-bit FNV-1a digest: equal terms have
+	// equal hashes.  Memoized on Compound and Set.
+	Hash() uint64
 	// String returns the concrete LDL1 syntax for the term.
 	String() string
 }
@@ -77,14 +81,30 @@ type Compound struct {
 	Functor string
 	Args    []Term
 
-	key string // lazily memoised canonical key
+	key    string // lazily memoised canonical key
+	keySet bool
+	hash   uint64       // memoised structural hash, 0 = unset
+	ground groundMemo   // memoised IsGround answer
+	pure   bool         // no interpreted functor or group anywhere inside
 }
+
+// groundMemo is a tri-state groundness memo: unknown for terms built as
+// struct literals (tests), yes/no when set by NewCompound.
+type groundMemo uint8
+
+const (
+	groundUnknown groundMemo = iota
+	groundYes
+	groundNo
+)
 
 // Set is a finite set in U, held canonically: elements sorted by Compare
 // with duplicates removed.  The zero value is the empty set {}.
 type Set struct {
-	elems []Term
-	key   string
+	elems  []Term
+	key    string
+	keySet bool
+	hash   uint64
 }
 
 func (Atom) Kind() Kind      { return KindAtom }
@@ -100,7 +120,7 @@ func (s Str) Key() string  { return "s:" + strconv.Quote(string(s)) }
 func (v Var) Key() string  { return "v:" + string(v) }
 
 func (c *Compound) Key() string {
-	if c.key == "" {
+	if !c.keySet {
 		var b strings.Builder
 		b.WriteString("c:")
 		b.WriteString(strconv.Itoa(len(c.Functor)))
@@ -115,12 +135,13 @@ func (c *Compound) Key() string {
 		}
 		b.WriteByte(')')
 		c.key = b.String()
+		c.keySet = true
 	}
 	return c.key
 }
 
 func (s *Set) Key() string {
-	if s.key == "" {
+	if !s.keySet {
 		var b strings.Builder
 		b.WriteString("S:{")
 		for i, e := range s.elems {
@@ -131,6 +152,7 @@ func (s *Set) Key() string {
 		}
 		b.WriteByte('}')
 		s.key = b.String()
+		s.keySet = true
 	}
 	return s.key
 }
@@ -199,13 +221,53 @@ func (s *Set) String() string {
 	return b.String()
 }
 
-// NewCompound builds f(args...).
+// NewCompound builds f(args...), computing the structural hash and the
+// groundness/purity memos eagerly so the term can be shared across
+// goroutines without lazy writes.
 func NewCompound(functor string, args ...Term) *Compound {
-	return &Compound{Functor: functor, Args: args}
+	c := &Compound{Functor: functor, Args: args}
+	c.ground = groundYes
+	c.pure = !IsInterpretedFunctor(functor)
+	for _, a := range args {
+		if !IsGround(a) {
+			c.ground = groundNo
+		}
+		if sub, ok := a.(*Compound); ok {
+			if !sub.Pure() {
+				c.pure = false
+			}
+		} else if _, ok := a.(*Group); ok {
+			c.pure = false
+		}
+	}
+	c.Hash()
+	return c
+}
+
+// Pure reports that the compound contains no interpreted functor (scons,
+// $set, arithmetic) and no grouping construct anywhere: binding application
+// can return it unchanged when it is also ground.
+func (c *Compound) Pure() bool { return c.pure }
+
+// IsInterpretedFunctor reports whether functor names a built-in function
+// that binding application evaluates away (§2.2): set construction,
+// enumerated set patterns, and integer arithmetic.
+func IsInterpretedFunctor(f string) bool {
+	switch f {
+	case "scons", "$set", "+", "-", "*", "/", "neg":
+		return true
+	}
+	return false
 }
 
 // EmptySet is the canonical empty set {}.
-var EmptySet = &Set{}
+var EmptySet = newEmptySet()
+
+func newEmptySet() *Set {
+	s := &Set{}
+	s.Hash() // pre-memoize: EmptySet is shared globally
+	return s
+}
 
 // NewSet builds the canonical set containing elems (duplicates removed,
 // elements sorted).  All elements must be ground; callers enforce this.
@@ -225,7 +287,9 @@ func NewSet(elems ...Term) *Set {
 	if len(out) == 0 {
 		return EmptySet
 	}
-	return &Set{elems: out}
+	s := &Set{elems: out}
+	s.Hash() // eager memo: sets are shared across goroutines
+	return s
 }
 
 // Len returns the cardinality of the set.
@@ -315,8 +379,69 @@ func (s *Set) Add(x Term) *Set {
 }
 
 // Equal reports structural equality of two terms (equality in U for ground
-// terms).
-func Equal(a, b Term) bool { return Compare(a, b) == 0 }
+// terms).  It is the allocation-free hot-path counterpart of Compare: shared
+// pointers short-circuit, memoized hash mismatch is a constant-time
+// disequality certificate, and only hash-equal heap terms are walked.
+func Equal(a, b Term) bool {
+	switch x := a.(type) {
+	case Int:
+		y, ok := b.(Int)
+		return ok && x == y
+	case Atom:
+		y, ok := b.(Atom)
+		return ok && x == y
+	case Str:
+		y, ok := b.(Str)
+		return ok && x == y
+	case Var:
+		y, ok := b.(Var)
+		return ok && x == y
+	case *Compound:
+		y, ok := b.(*Compound)
+		if !ok {
+			return false
+		}
+		if x == y {
+			return true
+		}
+		if x.hash != 0 && y.hash != 0 && x.hash != y.hash {
+			return false
+		}
+		if x.Functor != y.Functor || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !Equal(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	case *Set:
+		y, ok := b.(*Set)
+		if !ok {
+			return false
+		}
+		if x == y {
+			return true
+		}
+		if x.hash != 0 && y.hash != 0 && x.hash != y.hash {
+			return false
+		}
+		if len(x.elems) != len(y.elems) {
+			return false
+		}
+		for i := range x.elems {
+			if !Equal(x.elems[i], y.elems[i]) {
+				return false
+			}
+		}
+		return true
+	case *Group:
+		y, ok := b.(*Group)
+		return ok && Equal(x.Inner, y.Inner)
+	}
+	panic("term: unknown kind")
+}
 
 // Compare imposes a deterministic total order on terms: first by Kind, then
 // by natural value order within the kind (integers numerically, atoms and
@@ -381,6 +506,14 @@ func IsGround(t Term) bool {
 		// Grouping constructs are syntax, never elements of U.
 		return false
 	case *Compound:
+		switch t.ground {
+		case groundYes:
+			return true
+		case groundNo:
+			return false
+		}
+		// Struct-literal construction (tests): walk without memoizing, so
+		// shared terms are never written after publication.
 		for _, a := range t.Args {
 			if !IsGround(a) {
 				return false

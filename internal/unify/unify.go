@@ -30,52 +30,57 @@ var ErrUnbound = errors.New("unbound variable")
 // sets containing variables, e.g. {X, Y, Z}.
 const SetPatternFunctor = "$set"
 
-// Bindings is a mutable binding environment with a trail, so that join
-// loops can undo speculative bindings cheaply.
+// Bindings is a mutable binding environment.  It is an append-only stack of
+// (variable, value) pairs rather than a map: rule bodies bind a handful of
+// variables, so a linear scan beats string hashing, and the stack doubles as
+// the trail — Undo is a truncation.  Callers never rebind a bound variable
+// (matchRec checks Lookup first), so each live variable appears once.
 type Bindings struct {
-	m     map[term.Var]term.Term
-	trail []term.Var
+	pairs []binding
+}
+
+type binding struct {
+	v term.Var
+	t term.Term
 }
 
 // NewBindings creates an empty binding environment.
-func NewBindings() *Bindings {
-	return &Bindings{m: make(map[term.Var]term.Term)}
-}
+func NewBindings() *Bindings { return &Bindings{} }
 
 // Lookup returns the value bound to v, if any.
 func (b *Bindings) Lookup(v term.Var) (term.Term, bool) {
-	t, ok := b.m[v]
-	return t, ok
+	for i := len(b.pairs) - 1; i >= 0; i-- {
+		if b.pairs[i].v == v {
+			return b.pairs[i].t, true
+		}
+	}
+	return nil, false
 }
 
-// Bind records v := t (t must be ground) and pushes v on the trail.
+// Bind records v := t (t must be ground, v must be unbound).
 func (b *Bindings) Bind(v term.Var, t term.Term) {
-	b.m[v] = t
-	b.trail = append(b.trail, v)
+	b.pairs = append(b.pairs, binding{v, t})
 }
 
 // Mark returns a trail position for later Undo.
-func (b *Bindings) Mark() int { return len(b.trail) }
+func (b *Bindings) Mark() int { return len(b.pairs) }
 
 // Undo removes all bindings made after mark.
 func (b *Bindings) Undo(mark int) {
-	for i := len(b.trail) - 1; i >= mark; i-- {
-		delete(b.m, b.trail[i])
-	}
-	b.trail = b.trail[:mark]
+	b.pairs = b.pairs[:mark]
 }
 
 // Snapshot returns an immutable copy of the current bindings.
 func (b *Bindings) Snapshot() map[term.Var]term.Term {
-	out := make(map[term.Var]term.Term, len(b.m))
-	for k, v := range b.m {
-		out[k] = v
+	out := make(map[term.Var]term.Term, len(b.pairs))
+	for _, p := range b.pairs {
+		out[p.v] = p.t
 	}
 	return out
 }
 
 // Len returns the number of live bindings.
-func (b *Bindings) Len() int { return len(b.m) }
+func (b *Bindings) Len() int { return len(b.pairs) }
 
 // Apply performs full binding application Aθ: every variable must be bound,
 // and all built-in functions are evaluated.  The result is a ground element
@@ -93,6 +98,12 @@ func Apply(t term.Term, b *Bindings) (term.Term, error) {
 	case *term.Group:
 		return nil, fmt.Errorf("%w: grouping construct <%s> is not a value", ErrOutsideU, t.Inner)
 	case *term.Compound:
+		// Ground compounds with no interpreted functor anywhere inside are
+		// already elements of U: return them unchanged instead of
+		// rebuilding the tree (memoized O(1) checks, see NewCompound).
+		if t.Pure() && term.IsGround(t) {
+			return t, nil
+		}
 		args := make([]term.Term, len(t.Args))
 		for i, a := range t.Args {
 			v, err := Apply(a, b)
@@ -169,6 +180,9 @@ func ApplyPartial(t term.Term, b *Bindings) term.Term {
 	case *term.Group:
 		return term.NewGroup(ApplyPartial(t.Inner, b))
 	case *term.Compound:
+		if t.Pure() && term.IsGround(t) {
+			return t // already an element of U, nothing to substitute
+		}
 		args := make([]term.Term, len(t.Args))
 		ground := true
 		for i, a := range t.Args {
@@ -240,13 +254,10 @@ func matchRec(pattern, value term.Term, b *Bindings) bool {
 	return false
 }
 
-func isBuiltinFunctor(f string) bool {
-	switch f {
-	case "scons", SetPatternFunctor, "+", "-", "*", "/", "neg":
-		return true
-	}
-	return false
-}
+// isBuiltinFunctor reports whether the functor is evaluated away by binding
+// application; the list lives in term (IsInterpretedFunctor) so that
+// NewCompound's purity memo and this check can never drift apart.
+func isBuiltinFunctor(f string) bool { return term.IsInterpretedFunctor(f) }
 
 // ApplyLit applies bindings to a literal, producing a ground U-fact.
 func ApplyLit(l ast.Literal, b *Bindings) (*term.Fact, error) {
