@@ -48,11 +48,12 @@ func main() {
 		exp   = flag.String("exp", "", "experiment id (e1..e16); empty runs all")
 		list  = flag.Bool("list", false, "list experiments")
 		bench = flag.String("bench", "", "time the perf experiments and write a JSON report to this file")
+		reps  = flag.Int("reps", 3, "with -bench: timing repetitions per entry; the fastest is reported")
 	)
 	flag.Parse()
 
 	if *bench != "" {
-		if err := runBenchJSON(*bench); err != nil {
+		if err := runBenchJSON(*bench, *reps); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
 		}

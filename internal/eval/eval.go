@@ -35,6 +35,13 @@ type Stats struct {
 	// Firings counts successful rule-body solutions (including ones
 	// whose head fact already existed).
 	Firings int
+	// IndexHits counts candidate probes answered by a (possibly
+	// composite) column hash index on the compiled access path.
+	IndexHits int
+	// FullScans counts candidate scans that enumerated a relation: the
+	// plan had no ground column for the literal, or the relation was
+	// below store.IndexThreshold.
+	FullScans int
 }
 
 // Options configures evaluation.
@@ -44,10 +51,14 @@ type Options struct {
 	// Provenance, when non-nil, records a Derivation for every fact the
 	// evaluation adds (including program facts), enabling Explain.
 	Provenance *Provenance
-	// MaxDerived, when positive, bounds the number of derived facts;
-	// exceeding it aborts evaluation with a LimitError.  Useful as a
-	// termination guard for programs whose function symbols can generate
-	// unbounded terms (the LDL1 universe U is infinite).
+	// MaxDerived, when positive, bounds the number of DERIVED facts —
+	// facts newly added by rule application, not counting the input
+	// database — and aborts evaluation with a LimitError once more than
+	// MaxDerived facts have been derived.  The count and the semantics
+	// are identical for sequential and parallel evaluation (Workers > 1
+	// merely defers the check to the end of the round that overflows).
+	// Useful as a termination guard for programs whose function symbols
+	// can generate unbounded terms (the LDL1 universe U is infinite).
 	MaxDerived int
 	// Workers, when > 1, evaluates the rule applications of each fixpoint
 	// round concurrently (derivations are buffered and merged between
@@ -111,18 +122,25 @@ func EvalGroups(groups [][]ast.Rule, db *store.DB, opts Options) error {
 	ex := &exec{db: db, stats: opts.Stats, prov: opts.Provenance, deltaSlot: -1, maxDerived: opts.MaxDerived, workers: workers}
 	for _, rules := range groups {
 		if err := ex.evalLayer(rules, opts.Strategy); err != nil {
+			ex.flushAccessStats()
 			return err
 		}
 	}
+	ex.flushAccessStats()
 	return nil
 }
 
 // PlanBody exposes the join planner: it orders the rule's body literals for
 // left-to-right execution, optionally forcing one literal first and seeding
-// the bound-variable set.  Used by the magic-sets compiler to derive
-// default sideways information passing strategies (§6).
+// the bound-variable set.  CompileBody additionally returns the bound-column
+// analysis; the magic-sets compiler uses that to derive default sideways
+// information passing strategies (§6).
 func PlanBody(r ast.Rule, forcedFirst int, preBound map[term.Var]bool) ([]int, error) {
-	return planBody(r, forcedFirst, preBound)
+	p, err := planBody(r, forcedFirst, preBound)
+	if err != nil {
+		return nil, err
+	}
+	return p.order, nil
 }
 
 // applyHead evaluates the rule head under the bindings; a nil fact with a
@@ -136,6 +154,25 @@ func applyHead(r ast.Rule, b *unify.Bindings) (*term.Fact, error) {
 		return nil, fmt.Errorf("rule %q: %w", r.String(), err)
 	}
 	return f, nil
+}
+
+// applyHeadArgs applies the head arguments under b into dst (len(dst) ==
+// arity), reporting false when the binding falls outside U (the rule does
+// not fire, §3.2).  Evaluators use it with a reusable scratch slice so a
+// firing that re-derives an existing fact allocates nothing: the scratch
+// args feed Relation.GetArgs, and a Fact is built only for new facts.
+func applyHeadArgs(r ast.Rule, b *unify.Bindings, dst []term.Term) (bool, error) {
+	for i, a := range r.Head.Args {
+		v, err := unify.Apply(a, b)
+		if err != nil {
+			if errors.Is(err, unify.ErrOutsideU) {
+				return false, nil
+			}
+			return false, fmt.Errorf("rule %q: %w", r.String(), err)
+		}
+		dst[i] = v
+	}
+	return true, nil
 }
 
 func newBindings() *unify.Bindings { return unify.NewBindings() }
@@ -166,12 +203,34 @@ type exec struct {
 	derived    int
 	// workers > 1 enables parallel rounds.
 	workers int
+	// access-path counters, accumulated locally (workers have no stats
+	// sink) and flushed into stats by EvalGroups / the round merge.
+	idxHits   int
+	fullScans int
 }
 
 func (ex *exec) bumpIter() {
 	if ex.stats != nil {
 		ex.stats.Iterations++
 	}
+}
+
+// flushAccessStats moves the local access-path counters into the stats
+// sink, if any.
+func (ex *exec) flushAccessStats() {
+	if ex.stats != nil {
+		ex.stats.IndexHits += ex.idxHits
+		ex.stats.FullScans += ex.fullScans
+	}
+	ex.idxHits, ex.fullScans = 0, 0
+}
+
+// checkLimit enforces Options.MaxDerived against the derived-fact count.
+func (ex *exec) checkLimit() error {
+	if ex.maxDerived > 0 && ex.derived > ex.maxDerived {
+		return &LimitError{Limit: ex.maxDerived}
+	}
+	return nil
 }
 
 // evalLayer computes the fixpoint of one layer: grouping rules are applied
@@ -204,13 +263,13 @@ func (ex *exec) evalLayer(rules []ast.Rule, strat Strategy) error {
 }
 
 func (ex *exec) naiveFixpoint(rules []ast.Rule) error {
-	plans := make([][]int, len(rules))
+	plans := make([]*bodyPlan, len(rules))
 	for i, r := range rules {
-		order, err := planBody(r, -1, nil)
+		p, err := planBody(r, -1, nil)
 		if err != nil {
 			return err
 		}
-		plans[i] = order
+		plans[i] = p
 	}
 	for {
 		ex.bumpIter()
@@ -218,7 +277,7 @@ func (ex *exec) naiveFixpoint(rules []ast.Rule) error {
 		if ex.workers > 1 {
 			tasks := make([]ruleTask, len(rules))
 			for i, r := range rules {
-				tasks[i] = ruleTask{rule: r, order: plans[i], deltaSlot: -1}
+				tasks[i] = ruleTask{rule: r, plan: plans[i], deltaSlot: -1}
 			}
 			facts, err := ex.runParallelRound(tasks, ex.workers)
 			if err != nil {
@@ -227,8 +286,8 @@ func (ex *exec) naiveFixpoint(rules []ast.Rule) error {
 			if ex.mergeRound(facts, nil) > 0 {
 				changed = true
 			}
-			if ex.maxDerived > 0 && ex.db.Len() > ex.maxDerived {
-				return &LimitError{Limit: ex.maxDerived}
+			if err := ex.checkLimit(); err != nil {
+				return err
 			}
 		} else {
 			for i, r := range rules {
@@ -250,9 +309,9 @@ func (ex *exec) naiveFixpoint(rules []ast.Rule) error {
 // variant is a semi-naive rule variant: the rule with one recursive body
 // occurrence designated as the delta occurrence.
 type variant struct {
-	rule  ast.Rule
-	dLit  int   // body literal index bound to the delta relation
-	order []int // execution order with dLit first
+	rule ast.Rule
+	dLit int       // body literal index bound to the delta relation
+	plan *bodyPlan // compiled plan with dLit first; delta chunks share it
 }
 
 func (ex *exec) semiNaiveFixpoint(rules []ast.Rule) error {
@@ -271,22 +330,22 @@ func (ex *exec) semiNaiveFixpoint(rules []ast.Rule) error {
 		rec := false
 		for i, l := range r.Body {
 			if !l.Negated && layerPreds[l.Pred] {
-				order, err := planBody(r, i, nil)
+				p, err := planBody(r, i, nil)
 				if err != nil {
 					return err
 				}
-				recvars = append(recvars, variant{rule: r, dLit: i, order: order})
+				recvars = append(recvars, variant{rule: r, dLit: i, plan: p})
 				rec = true
 			}
 		}
-		order, err := planBody(r, -1, nil)
+		p, err := planBody(r, -1, nil)
 		if err != nil {
 			return err
 		}
 		if rec {
-			recRound0 = append(recRound0, ruleTask{rule: r, order: order, deltaSlot: -1})
+			recRound0 = append(recRound0, ruleTask{rule: r, plan: p, deltaSlot: -1})
 		} else {
-			base = append(base, variant{rule: r, dLit: -1, order: order})
+			base = append(base, variant{rule: r, dLit: -1, plan: p})
 		}
 	}
 
@@ -304,7 +363,7 @@ func (ex *exec) semiNaiveFixpoint(rules []ast.Rule) error {
 	ex.bumpIter()
 	round0 := make([]ruleTask, 0, len(base)+len(recRound0))
 	for _, v := range base {
-		round0 = append(round0, ruleTask{rule: v.rule, order: v.order, deltaSlot: -1})
+		round0 = append(round0, ruleTask{rule: v.rule, plan: v.plan, deltaSlot: -1})
 	}
 	round0 = append(round0, recRound0...)
 	if ex.workers > 1 {
@@ -313,9 +372,12 @@ func (ex *exec) semiNaiveFixpoint(rules []ast.Rule) error {
 			return err
 		}
 		ex.mergeRound(facts, record)
+		if err := ex.checkLimit(); err != nil {
+			return err
+		}
 	} else {
 		for _, t := range round0 {
-			if _, err := ex.applyRule(t.rule, t.order, record); err != nil {
+			if _, err := ex.applyRule(t.rule, t.plan, record); err != nil {
 				return err
 			}
 		}
@@ -341,9 +403,10 @@ func (ex *exec) semiNaiveFixpoint(rules []ast.Rule) error {
 					continue
 				}
 				// Split large deltas into per-worker chunks so a single
-				// wide round parallelizes within one rule as well.
+				// wide round parallelizes within one rule as well; every
+				// chunk reuses the variant's compiled plan.
 				for _, chunk := range chunkRelation(d, ex.workers, ex.db.UseIndexes) {
-					tasks = append(tasks, ruleTask{rule: v.rule, order: v.order, delta: chunk, deltaSlot: v.dLit})
+					tasks = append(tasks, ruleTask{rule: v.rule, plan: v.plan, delta: chunk, deltaSlot: v.dLit})
 				}
 			}
 			facts, err := ex.runParallelRound(tasks, ex.workers)
@@ -351,8 +414,8 @@ func (ex *exec) semiNaiveFixpoint(rules []ast.Rule) error {
 				return err
 			}
 			ex.mergeRound(facts, recordNext)
-			if ex.maxDerived > 0 && ex.db.Len() > ex.maxDerived {
-				return &LimitError{Limit: ex.maxDerived}
+			if err := ex.checkLimit(); err != nil {
+				return err
 			}
 		} else {
 			for _, v := range recvars {
@@ -362,7 +425,7 @@ func (ex *exec) semiNaiveFixpoint(rules []ast.Rule) error {
 				}
 				ex.delta = d
 				ex.deltaSlot = v.dLit
-				_, err := ex.applyRule(v.rule, v.order, recordNext)
+				_, err := ex.applyRule(v.rule, v.plan, recordNext)
 				ex.delta = nil
 				ex.deltaSlot = -1
 				if err != nil {
@@ -385,23 +448,28 @@ func (ex *exec) semiNaiveFixpoint(rules []ast.Rule) error {
 	return nil
 }
 
-// applyRule evaluates the body of a non-grouping rule in the given literal
-// order and inserts head facts; onNew is invoked for each genuinely new
+// applyRule evaluates the body of a non-grouping rule under the compiled
+// plan and inserts head facts; onNew is invoked for each genuinely new
 // fact.  It returns the number of new facts.
-func (ex *exec) applyRule(r ast.Rule, order []int, onNew func(*term.Fact)) (int, error) {
+func (ex *exec) applyRule(r ast.Rule, p *bodyPlan, onNew func(*term.Fact)) (int, error) {
 	b := unify.NewBindings()
 	added := 0
-	err := ex.join(r.Body, order, 0, b, func() error {
+	headRel := ex.db.Rel(r.Head.Pred)
+	scratch := make([]term.Term, len(r.Head.Args))
+	err := ex.join(r.Body, p, 0, b, func() error {
 		if ex.stats != nil {
 			ex.stats.Firings++
 		}
-		f, err := unify.ApplyLit(r.Head, b)
-		if err != nil {
-			if errors.Is(err, unify.ErrOutsideU) {
-				return nil // binding not applicable (§3.2)
-			}
-			return fmt.Errorf("rule %q: %w", r.String(), err)
+		ok, err := applyHeadArgs(r, b, scratch)
+		if err != nil || !ok {
+			return err // nil when the binding is outside U (§3.2)
 		}
+		if _, dup := headRel.GetArgs(scratch); dup {
+			return nil // re-derivation: nothing to insert or record
+		}
+		args := make([]term.Term, len(scratch))
+		copy(args, scratch)
+		f := term.NewFact(r.Head.Pred, args...)
 		if ex.db.Insert(f) {
 			added++
 			ex.derived++
@@ -425,14 +493,15 @@ func (ex *exec) applyRule(r ast.Rule, order []int, onNew func(*term.Fact)) (int,
 	return added, err
 }
 
-// join enumerates all bindings satisfying body literals order[step:].
-func (ex *exec) join(body []ast.Literal, order []int, step int, b *unify.Bindings, yield func() error) error {
-	if step == len(order) {
+// join enumerates all bindings satisfying body literals p.order[step:],
+// probing each positive database literal through its compiled access path.
+func (ex *exec) join(body []ast.Literal, p *bodyPlan, step int, b *unify.Bindings, yield func() error) error {
+	if step == len(p.order) {
 		return yield()
 	}
-	idx := order[step]
+	idx := p.order[step]
 	l := body[idx]
-	cont := func() error { return ex.join(body, order, step+1, b, yield) }
+	cont := func() error { return ex.join(body, p, step+1, b, yield) }
 
 	if layering.IsBuiltin(l.Pred) {
 		return builtin.Eval(l, b, cont)
@@ -454,7 +523,7 @@ func (ex *exec) join(body []ast.Literal, order []int, step int, b *unify.Binding
 	}
 
 	rel := ex.relFor(idx, l.Pred)
-	candidates := ex.candidates(rel, l, b)
+	candidates := ex.candidates(rel, &p.acc[step], b)
 	for _, f := range candidates {
 		mark := b.Mark()
 		if unify.MatchFact(l, f, b) {
@@ -482,19 +551,45 @@ func (ex *exec) relFor(litIdx int, pred string) *store.Relation {
 	return ex.db.Rel(pred)
 }
 
-// candidates narrows the fact scan using a hash index on the first argument
-// position whose pattern is fully bound.
-func (ex *exec) candidates(rel *store.Relation, l ast.Literal, b *unify.Bindings) []*term.Fact {
-	for col, a := range l.Args {
-		pat := unify.ApplyPartial(a, b)
-		if term.IsGround(pat) {
-			v, err := unify.Apply(pat, b)
+// candidates narrows the fact scan through the literal's compiled access
+// path: the probe values for every plan-time-ground column are extracted
+// from the bindings and looked up in one (possibly composite) hash index.
+// The binding pattern is never re-derived here — planBody fixed it when the
+// layer was planned.
+func (ex *exec) candidates(rel *store.Relation, a *access, b *unify.Bindings) []*term.Fact {
+	if len(a.cols) > 0 {
+		var arr [8]term.Term // probe buffer; stays on the stack
+		var vals []term.Term
+		if len(a.cols) <= len(arr) {
+			vals = arr[:len(a.cols)]
+		} else {
+			vals = make([]term.Term, len(a.cols))
+		}
+		ok := true
+		for i, key := range a.keys {
+			v, err := key(b)
 			if err != nil {
-				return nil // argument outside U never matches
+				if errors.Is(err, unify.ErrOutsideU) {
+					return nil // argument outside U never matches
+				}
+				// The static analysis over-promised (should not happen);
+				// fall back to a scan rather than probing a bogus key.
+				ok = false
+				break
 			}
-			return rel.Lookup(col, v)
+			vals[i] = v
+		}
+		if ok {
+			facts, indexed := rel.LookupCols(a.cols, vals)
+			if indexed {
+				ex.idxHits++
+			} else {
+				ex.fullScans++
+			}
+			return facts
 		}
 	}
+	ex.fullScans++
 	return rel.All()
 }
 
@@ -512,7 +607,7 @@ func (ex *exec) applyGroupingRule(r ast.Rule) error {
 	if !ok {
 		return fmt.Errorf("eval: grouping over non-variable term <%s>; rewrite LDL1.5 heads first", inner)
 	}
-	order, err := planBody(r, -1, nil)
+	p, err := planBody(r, -1, nil)
 	if err != nil {
 		return err
 	}
@@ -528,7 +623,7 @@ func (ex *exec) applyGroupingRule(r ast.Rule) error {
 	var classOrder []*class
 
 	b := unify.NewBindings()
-	err = ex.join(r.Body, order, 0, b, func() error {
+	err = ex.join(r.Body, p, 0, b, func() error {
 		if ex.stats != nil {
 			ex.stats.Firings++
 		}
@@ -589,6 +684,10 @@ func (ex *exec) applyGroupingRule(r ast.Rule) error {
 		args[gIdx] = term.NewSet(c.elems...)
 		f := term.NewFact(r.Head.Pred, args...)
 		if ex.db.Insert(f) {
+			ex.derived++
+			if err := ex.checkLimit(); err != nil {
+				return err
+			}
 			if ex.stats != nil {
 				ex.stats.Derived++
 			}
@@ -604,7 +703,7 @@ func (ex *exec) applyGroupingRule(r ast.Rule) error {
 // one binding snapshot per solution (restricted to the query's variables).
 func Solve(body []ast.Literal, db *store.DB) ([]map[term.Var]term.Term, error) {
 	r := ast.Rule{Head: ast.NewLit("$query"), Body: body}
-	order, err := planBody(r, -1, nil)
+	p, err := planBody(r, -1, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -615,7 +714,7 @@ func Solve(body []ast.Literal, db *store.DB) ([]map[term.Var]term.Term, error) {
 	seen := map[uint64][]map[term.Var]term.Term{}
 	vars := r.Vars()
 	b := unify.NewBindings()
-	err = ex.join(body, order, 0, b, func() error {
+	err = ex.join(body, p, 0, b, func() error {
 		h := term.HashSeed
 		for _, v := range vars {
 			if t, ok := b.Lookup(v); ok {

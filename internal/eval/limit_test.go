@@ -6,6 +6,7 @@ import (
 
 	"ldl1/internal/parser"
 	"ldl1/internal/store"
+	"ldl1/internal/term"
 )
 
 func TestDerivationLimit(t *testing.T) {
@@ -39,5 +40,51 @@ func TestDerivationLimit(t *testing.T) {
 	// Zero means unlimited.
 	if _, err := Eval(q, store.NewDB(), Options{}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDerivationLimitWorkerConsistency pins the MaxDerived semantics: the
+// limit counts DERIVED facts only — not the input database — and behaves
+// the same under sequential and parallel evaluation.
+func TestDerivationLimitWorkerConsistency(t *testing.T) {
+	p := parser.MustParseProgram(ancestorSrc) // 4 parent facts, derives 8 ancestor facts
+	derived := 8
+
+	for _, workers := range []int{1, 4} {
+		// A limit below the derivation count aborts.
+		_, err := Eval(p, store.NewDB(), Options{MaxDerived: derived - 1, Workers: workers})
+		var le *LimitError
+		if !errors.As(err, &le) {
+			t.Errorf("workers=%d: limit %d: expected LimitError, got %v", workers, derived-1, err)
+		}
+		// A limit equal to the derivation count succeeds.
+		db, err := Eval(p, store.NewDB(), Options{MaxDerived: derived, Workers: workers})
+		if err != nil {
+			t.Errorf("workers=%d: limit %d: unexpected error %v", workers, derived, err)
+		} else if db.Rel("ancestor").Len() != derived {
+			t.Errorf("workers=%d: ancestor = %d, want %d", workers, db.Rel("ancestor").Len(), derived)
+		}
+	}
+
+	// The input database does not count against the limit, no matter how
+	// large: 200 EDB facts with 3 derivations fit under a limit of 5 in
+	// both modes (the old parallel path compared total database size).
+	big := parser.MustParseProgram(`anc(X, Y) <- par(X, Y).`)
+	edb := store.NewDB()
+	for i := 0; i < 200; i++ {
+		edb.Insert(term.NewFact("filler", term.Int(i)))
+	}
+	for i := 0; i < 3; i++ {
+		edb.Insert(term.NewFact("par", term.Int(i), term.Int(i+1)))
+	}
+	for _, workers := range []int{1, 4} {
+		db, err := Eval(big, edb, Options{MaxDerived: 5, Workers: workers})
+		if err != nil {
+			t.Errorf("workers=%d: EDB size counted against MaxDerived: %v", workers, err)
+			continue
+		}
+		if db.Rel("anc").Len() != 3 {
+			t.Errorf("workers=%d: anc = %d, want 3", workers, db.Rel("anc").Len())
+		}
 	}
 }

@@ -17,24 +17,30 @@ import (
 // Provenance recording forces sequential evaluation (the derivation trail
 // is per-join state that the merge phase cannot reconstruct).
 
-// ruleTask is one rule application scheduled for a parallel round.
+// ruleTask is one rule application scheduled for a parallel round.  Delta
+// chunks split from one variant all share the variant's compiled plan.
 type ruleTask struct {
 	rule      ast.Rule
-	order     []int
+	plan      *bodyPlan
 	delta     *store.Relation // nil for full-relation evaluation
 	deltaSlot int
 }
 
 // runParallelRound evaluates the tasks concurrently and returns the facts
-// they derive (not yet in db), deduplicated.
+// they derive (not yet in db), deduplicated.  Workers probe the shared
+// relations through their compiled access paths; once a round's first
+// lookup has built an index, the remaining probes are lock-free (the store
+// publishes index snapshots atomically).
 func (ex *exec) runParallelRound(tasks []ruleTask, workers int) ([]*term.Fact, error) {
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
 	type result struct {
-		facts   []*term.Fact
-		firings int
-		err     error
+		facts     []*term.Fact
+		firings   int
+		idxHits   int
+		fullScans int
+		err       error
 	}
 	results := make([]result, len(tasks))
 	var wg sync.WaitGroup
@@ -47,8 +53,8 @@ func (ex *exec) runParallelRound(tasks []ruleTask, workers int) ([]*term.Fact, e
 			defer func() { <-sem }()
 			t := tasks[i]
 			w := &exec{db: ex.db, delta: t.delta, deltaSlot: t.deltaSlot, maxDerived: 0}
-			facts, firings, err := w.collectRule(t.rule, t.order)
-			results[i] = result{facts: facts, firings: firings, err: err}
+			facts, firings, err := w.collectRule(t.rule, t.plan)
+			results[i] = result{facts: facts, firings: firings, idxHits: w.idxHits, fullScans: w.fullScans, err: err}
 		}(i)
 	}
 	wg.Wait()
@@ -62,6 +68,8 @@ func (ex *exec) runParallelRound(tasks []ruleTask, workers int) ([]*term.Fact, e
 		if ex.stats != nil {
 			ex.stats.Firings += r.firings
 		}
+		ex.idxHits += r.idxHits
+		ex.fullScans += r.fullScans
 		for _, f := range r.facts {
 			if !seen.Contains(f) && !ex.db.Contains(f) {
 				seen.Add(f)
@@ -75,21 +83,32 @@ func (ex *exec) runParallelRound(tasks []ruleTask, workers int) ([]*term.Fact, e
 // collectRule is applyRule without database mutation: derived facts are
 // returned instead of inserted.  Grouping rules are not scheduled in
 // parallel rounds (they run once at layer entry).
-func (ex *exec) collectRule(r ast.Rule, order []int) ([]*term.Fact, int, error) {
+func (ex *exec) collectRule(r ast.Rule, p *bodyPlan) ([]*term.Fact, int, error) {
 	var out []*term.Fact
 	local := store.NewFactSet()
 	firings := 0
 	b := newBindings()
-	err := ex.join(r.Body, order, 0, b, func() error {
+	// Read-only fetch: workers must not mutate the shared database, and
+	// the head relation may not exist before the first merge.
+	headRel := ex.db.RelOrNil(r.Head.Pred)
+	scratch := make([]term.Term, len(r.Head.Args))
+	err := ex.join(r.Body, p, 0, b, func() error {
 		firings++
-		f, err := applyHead(r, b)
-		if err != nil {
-			return err
+		ok, err := applyHeadArgs(r, b, scratch)
+		if err != nil || !ok {
+			return err // nil when the binding is outside U
 		}
-		if f == nil {
-			return nil // binding not applicable (outside U)
+		// Probe the shared database first, allocation-free: in later
+		// rounds most firings re-derive facts that are already in it.
+		if headRel != nil {
+			if _, dup := headRel.GetArgs(scratch); dup {
+				return nil
+			}
 		}
-		if !local.Contains(f) && !ex.db.Contains(f) {
+		args := make([]term.Term, len(scratch))
+		copy(args, scratch)
+		f := term.NewFact(r.Head.Pred, args...)
+		if !local.Contains(f) {
 			local.Add(f)
 			out = append(out, f)
 		}
@@ -119,12 +138,16 @@ func chunkRelation(d *store.Relation, n int, useIdx bool) []*store.Relation {
 	return out
 }
 
-// mergeRound inserts derived facts and feeds the semi-naive delta recorder.
+// mergeRound inserts derived facts and feeds the semi-naive delta
+// recorder.  It also advances the derived-fact count backing
+// Options.MaxDerived, so parallel rounds enforce the same derived-only
+// semantics as the sequential path (the caller checks after the merge).
 func (ex *exec) mergeRound(facts []*term.Fact, onNew func(*term.Fact)) int {
 	added := 0
 	for _, f := range facts {
 		if ex.db.Insert(f) {
 			added++
+			ex.derived++
 			if ex.stats != nil {
 				ex.stats.Derived++
 			}

@@ -10,6 +10,7 @@ import (
 	"ldl1/internal/builtin"
 	"ldl1/internal/layering"
 	"ldl1/internal/term"
+	"ldl1/internal/unify"
 )
 
 // FlounderError reports a rule body that cannot be ordered so that every
@@ -23,8 +24,116 @@ func (e *FlounderError) Error() string {
 	return fmt.Sprintf("cannot order body of rule %q: literals %v never become sufficiently instantiated", e.Rule.String(), e.Lits)
 }
 
-// planBody orders body literals for left-to-right join execution.  At each
-// step it prefers, among the remaining literals:
+// keyFn produces the probe value for one planned index column at execution
+// time.  A nil error yields a ground value; an error wrapping
+// unify.ErrOutsideU means the literal can match nothing under the current
+// bindings; unify.ErrUnbound means the plan-time binding analysis
+// over-promised (the caller falls back to a scan — defensive, should not
+// happen for plans produced by planBody).
+type keyFn func(b *unify.Bindings) (term.Term, error)
+
+// access is the compiled access path for one body literal under a plan:
+// the argument columns guaranteed ground when the literal executes, in
+// ascending order, with one pre-compiled key extractor per column.  A
+// literal with no usable column has nil cols (full scan).  Negated and
+// built-in literals carry cols — the binding analysis feeds magic-set
+// adornment — but no extractors, since they never probe a relation.
+type access struct {
+	cols []int
+	keys []keyFn
+}
+
+// bodyPlan is a compiled rule body: the literal execution order plus the
+// access path of each step (acc is parallel to order).  Plans are computed
+// once per rule (variant) per layer and shared by every candidate scan,
+// including the per-worker delta chunks of a parallel round.
+type bodyPlan struct {
+	order []int
+	acc   []access
+}
+
+// Plan is the public view of a compiled body plan, used by the magic-sets
+// compiler (§6) to derive sideways information passing: the execution
+// order plus, for each body literal (by original body position), the
+// argument columns that are ground when it executes.
+type Plan struct {
+	Order     []int
+	BoundCols [][]int
+}
+
+// CompileBody plans the rule body like PlanBody and additionally exposes
+// the per-literal bound-column analysis.
+func CompileBody(r ast.Rule, forcedFirst int, preBound map[term.Var]bool) (*Plan, error) {
+	p, err := planBody(r, forcedFirst, preBound)
+	if err != nil {
+		return nil, err
+	}
+	out := &Plan{Order: p.order, BoundCols: make([][]int, len(r.Body))}
+	for step, idx := range p.order {
+		out.BoundCols[idx] = p.acc[step].cols
+	}
+	return out, nil
+}
+
+// compileAccess records which argument columns of l are ground given the
+// bound-variable set, compiling a key extractor per column when withKeys
+// is set (positive database literals — the only ones that probe a store
+// relation).  argVars carries the pre-extracted variable list of each
+// argument (parallel to l.Args).
+func compileAccess(l ast.Literal, argVars [][]term.Var, bound map[term.Var]bool, withKeys bool) access {
+	var a access
+	for col, arg := range l.Args {
+		grounded := true
+		for _, v := range argVars[col] {
+			if !bound[v] {
+				grounded = false
+				break
+			}
+		}
+		if !grounded {
+			continue
+		}
+		a.cols = append(a.cols, col)
+		if withKeys {
+			a.keys = append(a.keys, compileKey(arg))
+		}
+	}
+	return a
+}
+
+// compileKey builds the runtime extractor for one planned column.
+// Plan-time ground arguments evaluate once, here; variable arguments
+// reduce to a bindings lookup; anything else falls back to partial
+// application plus full evaluation.
+func compileKey(arg term.Term) keyFn {
+	if v, ok := arg.(term.Var); ok {
+		return func(b *unify.Bindings) (term.Term, error) {
+			t, ok := b.Lookup(v)
+			if !ok {
+				return nil, unify.ErrUnbound
+			}
+			return t, nil
+		}
+	}
+	if term.IsGround(arg) {
+		// A constant column: evaluate interpreted functors now.  An
+		// ErrOutsideU here means the literal can never match.
+		v, err := unify.Apply(arg, unify.NewBindings())
+		return func(*unify.Bindings) (term.Term, error) { return v, err }
+	}
+	return func(b *unify.Bindings) (term.Term, error) {
+		pat := unify.ApplyPartial(arg, b)
+		if !term.IsGround(pat) {
+			return nil, unify.ErrUnbound
+		}
+		return unify.Apply(pat, b)
+	}
+}
+
+// planBody compiles a rule body: it orders the literals for left-to-right
+// join execution and records, per step, the access path — the columns
+// ground at execution time with their key extractors.  At each step it
+// prefers, among the remaining literals:
 //
 //  1. fully bound tests (negated literals, test-mode built-ins) — cheapest,
 //  2. built-ins with a satisfiable generator mode,
@@ -32,7 +141,7 @@ func (e *FlounderError) Error() string {
 //
 // If forcedFirst >= 0 that literal is scheduled first (semi-naive delta
 // occurrence).  preBound seeds the bound-variable set (magic evaluation).
-func planBody(r ast.Rule, forcedFirst int, preBound map[term.Var]bool) ([]int, error) {
+func planBody(r ast.Rule, forcedFirst int, preBound map[term.Var]bool) (*bodyPlan, error) {
 	body := r.Body
 	n := len(body)
 	used := make([]bool, n)
@@ -40,22 +149,41 @@ func planBody(r ast.Rule, forcedFirst int, preBound map[term.Var]bool) ([]int, e
 	for v := range preBound {
 		bound[v] = true
 	}
+	// Variable occurrences, extracted once per argument: the scheduling
+	// loops below re-consult them every step, and VarsOf allocates per
+	// call.  A literal's variables are the union over its arguments; the
+	// loops tolerate a variable shared between arguments appearing in
+	// several lists.
+	argVars := make([][][]term.Var, n)
+	for i, l := range body {
+		av := make([][]term.Var, len(l.Args))
+		for j, a := range l.Args {
+			av[j] = term.VarsOf(a)
+		}
+		argVars[i] = av
+	}
 	isBound := func(v term.Var) bool { return bound[v] }
 	bindAll := func(i int) {
-		for _, v := range body[i].Vars() {
-			bound[v] = true
+		for _, av := range argVars[i] {
+			for _, v := range av {
+				bound[v] = true
+			}
 		}
 	}
-	order := make([]int, 0, n)
+	p := &bodyPlan{order: make([]int, 0, n), acc: make([]access, 0, n)}
 	take := func(i int) {
-		order = append(order, i)
+		l := body[i]
+		// The access path is determined by the bindings BEFORE this
+		// literal runs; compute it before extending the bound set.
+		p.acc = append(p.acc, compileAccess(l, argVars[i], bound, !l.Negated && !layering.IsBuiltin(l.Pred)))
+		p.order = append(p.order, i)
 		used[i] = true
 		bindAll(i)
 	}
 	if forcedFirst >= 0 {
 		take(forcedFirst)
 	}
-	for len(order) < n {
+	for len(p.order) < n {
 		chosen := -1
 		// Class 1: fully bound tests.
 		for i := 0; i < n && chosen < 0; i++ {
@@ -67,10 +195,13 @@ func planBody(r ast.Rule, forcedFirst int, preBound map[term.Var]bool) ([]int, e
 				continue
 			}
 			allBound := true
-			for _, v := range l.Vars() {
-				if !bound[v] {
-					allBound = false
-					break
+		scan:
+			for _, av := range argVars[i] {
+				for _, v := range av {
+					if !bound[v] {
+						allBound = false
+						break scan
+					}
 				}
 			}
 			if allBound && (!layering.IsBuiltin(l.Pred) || builtin.Ready(l, isBound)) {
@@ -94,9 +225,9 @@ func planBody(r ast.Rule, forcedFirst int, preBound map[term.Var]bool) ([]int, e
 					continue
 				}
 				score := 0
-				for _, a := range body[i].Args {
+				for _, av := range argVars[i] {
 					grounded := true
-					for _, v := range term.VarsOf(a) {
+					for _, v := range av {
 						if !bound[v] {
 							grounded = false
 							break
@@ -123,5 +254,5 @@ func planBody(r ast.Rule, forcedFirst int, preBound map[term.Var]bool) ([]int, e
 		}
 		take(chosen)
 	}
-	return order, nil
+	return p, nil
 }

@@ -72,6 +72,132 @@ func TestPlanFlounder(t *testing.T) {
 	}
 }
 
+// TestPlanAccessBoundCols pins the plan-time binding analysis: for each
+// rule, the argument columns of every body literal (by body position) that
+// the compiler marks ground at execution time.  Literals never scheduled
+// with a usable column have an empty set (full scan).
+func TestPlanAccessBoundCols(t *testing.T) {
+	cases := []struct {
+		name        string
+		src         string
+		forcedFirst int
+		preBound    []term.Var
+		want        map[int][]int // body literal index -> bound columns
+	}{
+		{
+			name: "free join seeds one bound column",
+			src:  "h(X, Z) <- a(X, Y), b(Y, Z).",
+			want: map[int][]int{0: nil, 1: {0}},
+		},
+		{
+			name: "triangle closes with a composite probe",
+			src:  "t(X, Y, Z) <- e(X, Y), e(Y, Z), e(X, Z).",
+			want: map[int][]int{0: nil, 1: {0}, 2: {0, 1}},
+		},
+		{
+			name: "constant argument is always bound",
+			src:  "h(X) <- e(a, X).",
+			want: map[int][]int{0: {0}},
+		},
+		{
+			name: "fully bound literal becomes a membership probe",
+			src:  "h(X) <- e(X, Y), f(X, Y).",
+			want: map[int][]int{0: nil, 1: {0, 1}},
+		},
+		{
+			name:        "delta-forced-first literal scans, the rest probe",
+			src:         "h(X, Y) <- a(X, Z), b(Z, Y).",
+			forcedFirst: 1,
+			want:        map[int][]int{1: nil, 0: {1}},
+		},
+		{
+			name:     "magic preBound seed binds the probe column",
+			src:      "h(X, Y) <- e(X, Y).",
+			preBound: []term.Var{"X"},
+			want:     map[int][]int{0: {0}},
+		},
+		{
+			name:     "negated literal records full adornment",
+			src:      "h(X, Y) <- e(X, Y), not g(X, Y).",
+			preBound: nil,
+			want:     map[int][]int{0: nil, 1: {0, 1}},
+		},
+		{
+			name:     "builtin generators bind downstream probes",
+			src:      "tc(S, C) <- partition(S, S1, S2), tc(S1, C1), tc(S2, C2), C = C1 + C2.",
+			preBound: []term.Var{"S"},
+			// The arithmetic literal's right side (C1 + C2) is ground by
+			// the time it runs; only C itself is free.
+			want: map[int][]int{0: {0}, 1: {0}, 2: {0}, 3: {1}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := parser.MustParseProgram(tc.src)
+			bound := map[term.Var]bool{}
+			for _, v := range tc.preBound {
+				bound[v] = true
+			}
+			forced := tc.forcedFirst
+			if forced == 0 {
+				forced = -1 // no case forces literal 0; zero value means unforced
+			}
+			plan, err := CompileBody(p.Rules[0], forced, bound)
+			if err != nil {
+				t.Fatalf("CompileBody: %v", err)
+			}
+			for lit, wantCols := range tc.want {
+				got := plan.BoundCols[lit]
+				if len(got) != len(wantCols) {
+					t.Errorf("literal %d: bound cols = %v, want %v (order %v)", lit, got, wantCols, plan.Order)
+					continue
+				}
+				for i := range wantCols {
+					if got[i] != wantCols[i] {
+						t.Errorf("literal %d: bound cols = %v, want %v", lit, got, wantCols)
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPlanFlounderHasNoPlan: the access compiler surfaces the same
+// flounder error as the order planner.
+func TestPlanFlounderHasNoPlan(t *testing.T) {
+	p := parser.MustParseProgram("h(X) <- e(X), member(Y, S).")
+	if _, err := CompileBody(p.Rules[0], -1, nil); err == nil {
+		t.Fatal("expected flounder error from CompileBody")
+	}
+}
+
+// TestEvalReportsIndexStats: an indexed join records index hits, a
+// scan-only body records full scans, and parallel workers merge their
+// counters into the same sink.
+func TestEvalReportsIndexStats(t *testing.T) {
+	src := `triangle(X, Y, Z) <- e(X, Y), e(Y, Z), e(X, Z).`
+	p := parser.MustParseProgram(src)
+	db := store.NewDB()
+	// 60 distinct edges — comfortably above store.IndexThreshold.
+	for i := 0; i < 30; i++ {
+		db.Insert(term.NewFact("e", term.Int(i), term.Int((i*7+1)%30)))
+		db.Insert(term.NewFact("e", term.Int(i), term.Int((i*11+2)%30)))
+	}
+	for _, workers := range []int{1, 4} {
+		var st Stats
+		if _, err := Eval(p, db, Options{Stats: &st, Workers: workers}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if st.IndexHits == 0 {
+			t.Errorf("workers=%d: IndexHits = 0, want > 0 (e is above the index threshold)", workers)
+		}
+		if st.FullScans == 0 {
+			t.Errorf("workers=%d: FullScans = 0, want > 0 (the leading literal scans)", workers)
+		}
+	}
+}
+
 func TestPlanForcedFirst(t *testing.T) {
 	p := parser.MustParseProgram("h(X, Y) <- a(X, Z), b(Z, Y).")
 	order, err := PlanBody(p.Rules[0], 1, nil)

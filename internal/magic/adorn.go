@@ -158,41 +158,30 @@ func adornRule(r ast.Rule, head Adornment, idb map[string]bool) (AdornedRule, []
 			bound[v] = true
 		}
 	}
-	order, err := eval.PlanBody(r, -1, bound)
+	// The compiled plan's binding analysis is exactly the sip: a body
+	// argument is bound iff its column is in the plan's bound-column set
+	// when the literal executes.
+	plan, err := eval.CompileBody(r, -1, bound)
 	if err != nil {
 		return AdornedRule{}, nil, err
 	}
-	ar := AdornedRule{Rule: r, Head: head, Order: order, Adorns: map[int]Adornment{}}
+	ar := AdornedRule{Rule: r, Head: head, Order: plan.Order, Adorns: map[int]Adornment{}}
 	var next []adornJob
-	cur := map[term.Var]bool{}
-	for v := range bound {
-		cur[v] = true
-	}
-	for _, idx := range order {
+	for _, idx := range plan.Order {
 		l := r.Body[idx]
-		if idb[l.Pred] && !layering.IsBuiltin(l.Pred) {
-			b := make([]byte, len(l.Args))
-			for i, a := range l.Args {
-				allBound := true
-				for _, v := range term.VarsOf(a) {
-					if !cur[v] {
-						allBound = false
-						break
-					}
-				}
-				if allBound {
-					b[i] = 'b'
-				} else {
-					b[i] = 'f'
-				}
-			}
-			ad := Adornment(b)
-			ar.Adorns[idx] = ad
-			next = append(next, adornJob{l.Pred, ad})
+		if !idb[l.Pred] || layering.IsBuiltin(l.Pred) {
+			continue
 		}
-		for _, v := range l.Vars() {
-			cur[v] = true
+		b := make([]byte, len(l.Args))
+		for i := range b {
+			b[i] = 'f'
 		}
+		for _, col := range plan.BoundCols[idx] {
+			b[col] = 'b'
+		}
+		ad := Adornment(b)
+		ar.Adorns[idx] = ad
+		next = append(next, adornJob{l.Pred, ad})
 	}
 	return ar, next, nil
 }

@@ -216,6 +216,33 @@ func TestMagicErrors(t *testing.T) {
 	}
 }
 
+// TestMagicUsesCompiledAccessPaths: the magic evaluator runs through
+// eval.EvalGroups, so the compiled access paths (and their index-hit
+// accounting) must be active during magic evaluation on any EDB above the
+// store index threshold.
+func TestMagicUsesCompiledAccessPaths(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(`
+		anc(X, Y) <- par(X, Y).
+		anc(X, Y) <- par(X, Z), anc(Z, Y).
+	`)
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&sb, "par(n%d, n%d).\n", i, i+1)
+	}
+	sb.WriteString("?- anc(n0, Y).\n")
+	var st eval.Stats
+	res, err := ParseAndAnswer(sb.String(), eval.Options{Stats: &st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 40 {
+		t.Fatalf("got %d solutions, want 40", len(res.Solutions))
+	}
+	if st.IndexHits == 0 {
+		t.Errorf("IndexHits = 0 during magic evaluation, want > 0")
+	}
+}
+
 func TestMagicSeedAllFree(t *testing.T) {
 	// ?- anc(X, Y): all-free adornment degenerates to full evaluation
 	// but must still return the right answers.

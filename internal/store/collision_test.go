@@ -15,10 +15,11 @@ import (
 // structural equality tie-breakers.
 func forceCollisions(t *testing.T) func() {
 	t.Helper()
-	oldF, oldT := hashFact, hashTerm
+	oldF, oldT, oldA := hashFact, hashTerm, hashFactArgs
 	hashFact = func(*term.Fact) uint64 { return 42 }
 	hashTerm = func(term.Term) uint64 { return 7 }
-	return func() { hashFact, hashTerm = oldF, oldT }
+	hashFactArgs = func(string, []term.Term) uint64 { return 42 }
+	return func() { hashFact, hashTerm, hashFactArgs = oldF, oldT, oldA }
 }
 
 func TestRelationAllHashesCollide(t *testing.T) {

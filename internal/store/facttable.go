@@ -38,6 +38,30 @@ func (t *factTable) get(h uint64, f *term.Fact) *term.Fact {
 	return nil
 }
 
+// getArgs returns the interned fact equal to pred(args...) (whose hash is
+// h), or nil — the allocation-free counterpart of get for duplicate checks
+// on facts that have not been constructed.
+func (t *factTable) getArgs(h uint64, pred string, args []term.Term) *term.Fact {
+	if len(t.entries) == 0 {
+		return nil
+	}
+	mask := uint64(len(t.entries) - 1)
+probe:
+	for i := h & mask; t.entries[i] != nil; i = (i + 1) & mask {
+		g := t.entries[i]
+		if hashFact(g) != h || g.Pred != pred || len(g.Args) != len(args) {
+			continue
+		}
+		for j := range args {
+			if !term.Equal(g.Args[j], args[j]) {
+				continue probe
+			}
+		}
+		return g
+	}
+	return nil
+}
+
 // insert places f (whose hash is h) into the table.  The caller must have
 // checked with get that no equal fact is present.
 func (t *factTable) insert(h uint64, f *term.Fact) {

@@ -1,6 +1,6 @@
 // Package store holds sets of U-facts: per-predicate relations with
 // duplicate elimination, insertion-order iteration, and lazily built
-// per-column hash indexes used by the join evaluator.
+// (possibly composite) hash indexes used by the join evaluator.
 //
 // Fact identity is hash-based: facts live in buckets keyed by their
 // memoized 64-bit structural hash (term.Fact.Hash), and the rare hash
@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"ldl1/internal/term"
 )
@@ -24,39 +25,121 @@ import (
 // hashes and drive every fact into one bucket; production code always uses
 // the memoized structural hashes.
 var (
-	hashFact = (*term.Fact).Hash
-	hashTerm = term.Term.Hash
+	hashFact     = (*term.Fact).Hash
+	hashTerm     = term.Term.Hash
+	hashFactArgs = term.HashFactArgs
 )
 
-// idxEntry is one distinct column value in a per-column index: the facts
-// whose argument equals value, plus a chain link for the (astronomically
-// rare) case of two distinct values sharing a hash.
+// IndexThreshold is the relation size below which Lookup scans instead of
+// building a hash index: constructing per-column maps over a handful of
+// facts (semi-naive delta chunks especially) costs more than the scans it
+// saves.  An index already built while the relation was larger keeps
+// serving lookups; relations only grow, so the threshold is crossed once.
+const IndexThreshold = 16
+
+// idxEntry is one distinct probe key in an index: the facts whose indexed
+// columns equal vals, plus a chain link for the (astronomically rare) case
+// of two distinct keys sharing a hash.
 type idxEntry struct {
-	value term.Term
+	vals  []term.Term // values at the index's columns, in cols order
 	facts []*term.Fact
 	next  *idxEntry
 }
 
-// colIndex is the lazily built hash index for one argument column.  A slice
-// of these beats a map[int]... because relations index at most a handful of
-// columns and Insert walks all of them on every call.
-type colIndex struct {
-	col int
-	m   map[uint64]*idxEntry // arg hash → value chain
+// index is a hash index over one set of argument columns — a single column
+// or a composite.  The key of a fact folds its per-column term hashes in
+// cols order; collisions are resolved by structural comparison of vals.
+// An index is built once under Relation.mu and is immutable in shape
+// afterwards; only Insert (single-writer, between rounds) appends to its
+// buckets.
+type index struct {
+	mask uint64 // bit c set ⇔ column c indexed
+	cols []int  // ascending
+	m    map[uint64]*idxEntry
+}
+
+// colsMask folds a column set into its bitmask; ok is false when a column
+// falls outside the representable range (never for real programs).
+func colsMask(cols []int) (mask uint64, ok bool) {
+	for _, c := range cols {
+		if c < 0 || c >= 64 {
+			return 0, false
+		}
+		mask |= 1 << uint(c)
+	}
+	return mask, true
+}
+
+func (ix *index) keyOf(vals []term.Term) uint64 {
+	h := term.HashSeed
+	for _, v := range vals {
+		h = term.HashFold(h, hashTerm(v))
+	}
+	return h
+}
+
+// add appends a fact to its bucket; facts too short for the index's
+// columns are skipped (they can never match a probe on those columns).
+func (ix *index) add(f *term.Fact) {
+	h := term.HashSeed
+	for _, c := range ix.cols {
+		if c >= len(f.Args) {
+			return
+		}
+		h = term.HashFold(h, hashTerm(f.Args[c]))
+	}
+	for e := ix.m[h]; e != nil; e = e.next {
+		if ix.sameVals(e.vals, f) {
+			e.facts = append(e.facts, f)
+			return
+		}
+	}
+	vals := make([]term.Term, len(ix.cols))
+	for i, c := range ix.cols {
+		vals[i] = f.Args[c]
+	}
+	ix.m[h] = &idxEntry{vals: vals, facts: []*term.Fact{f}, next: ix.m[h]}
+}
+
+func (ix *index) sameVals(vals []term.Term, f *term.Fact) bool {
+	for i, c := range ix.cols {
+		if !term.Equal(vals[i], f.Args[c]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (ix *index) probe(vals []term.Term) []*term.Fact {
+	for e := ix.m[ix.keyOf(vals)]; e != nil; e = e.next {
+		match := true
+		for i := range vals {
+			if !term.Equal(e.vals[i], vals[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return e.facts
+		}
+	}
+	return nil
 }
 
 // Relation is a set of U-facts for one predicate.
 //
 // Concurrency: Insert is single-writer; Lookup and All may run from many
 // goroutines BETWEEN writes (the parallel evaluator derives into private
-// buffers and merges single-threaded).  The lazy index build is the only
-// mutation Lookup performs, and it is guarded by mu.
+// buffers and merges single-threaded).  The index list is an immutable
+// snapshot behind an atomic pointer: probes against built indexes take no
+// lock at all, and only the first build per column set serializes on mu
+// (double-checked, so racing builders agree on one index).
 type Relation struct {
 	Name    string
 	facts   []*term.Fact // insertion order
 	table   *factTable   // interned fact identity; nil for chunks until first Insert
-	mu      sync.Mutex
-	indexes []colIndex
+	mu      sync.Mutex   // guards index construction only
+	indexes atomic.Pointer[[]*index]
 	useIdx  bool
 }
 
@@ -100,6 +183,17 @@ func (r *Relation) Get(f *term.Fact) (*term.Fact, bool) {
 	return g, g != nil
 }
 
+// GetArgs returns the relation's canonical fact for Name(args...), without
+// requiring the fact to be constructed: evaluators probe it per firing and
+// allocate only when the derivation is genuinely new.
+func (r *Relation) GetArgs(args []term.Term) (*term.Fact, bool) {
+	if r.table == nil {
+		r.rebuildTable()
+	}
+	g := r.table.getArgs(hashFactArgs(r.Name, args), r.Name, args)
+	return g, g != nil
+}
+
 // Insert adds the fact, reporting whether it was new.
 func (r *Relation) Insert(f *term.Fact) bool {
 	_, added := r.InsertGet(f)
@@ -107,7 +201,8 @@ func (r *Relation) Insert(f *term.Fact) bool {
 }
 
 // InsertGet adds the fact if new, returning the relation's canonical
-// (interned) fact for the value and whether f was newly added.
+// (interned) fact for the value and whether f was newly added.  Every
+// built index is maintained incrementally.
 func (r *Relation) InsertGet(f *term.Fact) (*term.Fact, bool) {
 	if r.table == nil {
 		r.rebuildTable()
@@ -118,9 +213,9 @@ func (r *Relation) InsertGet(f *term.Fact) (*term.Fact, bool) {
 	}
 	r.table.insert(h, f)
 	r.facts = append(r.facts, f)
-	for i := range r.indexes {
-		if col := r.indexes[i].col; col < len(f.Args) {
-			indexAdd(r.indexes[i].m, f.Args[col], f)
+	if p := r.indexes.Load(); p != nil {
+		for _, ix := range *p {
+			ix.add(f)
 		}
 	}
 	return f, true
@@ -136,54 +231,88 @@ func (r *Relation) rebuildTable() {
 	}
 }
 
-func indexAdd(idx map[uint64]*idxEntry, v term.Term, f *term.Fact) {
-	h := hashTerm(v)
-	for e := idx[h]; e != nil; e = e.next {
-		if term.Equal(e.value, v) {
-			e.facts = append(e.facts, f)
-			return
-		}
-	}
-	idx[h] = &idxEntry{value: v, facts: []*term.Fact{f}, next: idx[h]}
-}
-
-// Lookup returns the facts whose argument at column col equals value.  With
-// indexing enabled the first call per column builds a hash index that is
-// maintained incrementally; without it, Lookup scans.
-func (r *Relation) Lookup(col int, value term.Term) []*term.Fact {
-	if !r.useIdx {
-		var out []*term.Fact
-		for _, f := range r.facts {
-			if col < len(f.Args) && term.Equal(f.Args[col], value) {
-				out = append(out, f)
+// findIndex returns the built index for the column mask, if any.  It is
+// lock-free: the snapshot slice is immutable once published.
+func (r *Relation) findIndex(mask uint64) *index {
+	if p := r.indexes.Load(); p != nil {
+		for _, ix := range *p {
+			if ix.mask == mask {
+				return ix
 			}
-		}
-		return out
-	}
-	r.mu.Lock()
-	var idx map[uint64]*idxEntry
-	for i := range r.indexes {
-		if r.indexes[i].col == col {
-			idx = r.indexes[i].m
-			break
-		}
-	}
-	if idx == nil {
-		idx = make(map[uint64]*idxEntry, len(r.facts))
-		for _, f := range r.facts {
-			if col < len(f.Args) {
-				indexAdd(idx, f.Args[col], f)
-			}
-		}
-		r.indexes = append(r.indexes, colIndex{col: col, m: idx})
-	}
-	r.mu.Unlock()
-	for e := idx[hashTerm(value)]; e != nil; e = e.next {
-		if term.Equal(e.value, value) {
-			return e.facts
 		}
 	}
 	return nil
+}
+
+// buildIndex constructs the index for the column set and publishes a new
+// snapshot.  Concurrent builders for the same mask serialize on mu and
+// agree on the winner's index.
+func (r *Relation) buildIndex(mask uint64, cols []int) *index {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ix := r.findIndex(mask); ix != nil {
+		return ix // another goroutine won the build race
+	}
+	ix := &index{
+		mask: mask,
+		cols: append([]int(nil), cols...),
+		m:    make(map[uint64]*idxEntry, len(r.facts)),
+	}
+	for _, f := range r.facts {
+		ix.add(f)
+	}
+	var cur []*index
+	if p := r.indexes.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]*index, len(cur), len(cur)+1)
+	copy(next, cur)
+	next = append(next, ix)
+	r.indexes.Store(&next)
+	return ix
+}
+
+// scanCols enumerates the facts matching the column constraints without an
+// index.
+func (r *Relation) scanCols(cols []int, vals []term.Term) []*term.Fact {
+	var out []*term.Fact
+scan:
+	for _, f := range r.facts {
+		for i, c := range cols {
+			if c >= len(f.Args) || !term.Equal(f.Args[c], vals[i]) {
+				continue scan
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// LookupCols returns the facts whose arguments at the given columns equal
+// the corresponding values (cols ascending, len(vals) == len(cols)).  With
+// indexing enabled and at least IndexThreshold facts, the first probe per
+// column set builds a composite hash index that Insert then maintains; the
+// second return reports whether an index (rather than a scan) served the
+// probe.  Reads never lock once the index exists.
+func (r *Relation) LookupCols(cols []int, vals []term.Term) ([]*term.Fact, bool) {
+	if r.useIdx && len(cols) > 0 {
+		if mask, ok := colsMask(cols); ok {
+			if ix := r.findIndex(mask); ix != nil {
+				return ix.probe(vals), true
+			}
+			if len(r.facts) >= IndexThreshold {
+				return r.buildIndex(mask, cols).probe(vals), true
+			}
+		}
+	}
+	return r.scanCols(cols, vals), false
+}
+
+// Lookup returns the facts whose argument at column col equals value: the
+// single-column case of LookupCols.
+func (r *Relation) Lookup(col int, value term.Term) []*term.Fact {
+	out, _ := r.LookupCols([]int{col}, []term.Term{value})
+	return out
 }
 
 // DB is a database: a set of U-facts grouped into relations.
@@ -213,6 +342,13 @@ func (db *DB) Rel(pred string) *Relation {
 func (db *DB) Has(pred string) bool {
 	_, ok := db.rels[pred]
 	return ok
+}
+
+// RelOrNil returns the relation for pred without creating it.  Unlike Rel
+// it never mutates the database, so concurrent readers (parallel rule
+// workers) may call it while no writer is active.
+func (db *DB) RelOrNil(pred string) *Relation {
+	return db.rels[pred]
 }
 
 // Insert adds a fact, reporting whether it was new.
@@ -250,7 +386,8 @@ func (db *DB) Facts() []*term.Fact {
 }
 
 // Clone returns an independent copy of the database.  Facts are shared
-// (they are immutable); relation bookkeeping is copied.
+// (they are immutable); relation bookkeeping is copied.  Indexes are not
+// cloned — the copy rebuilds them on demand.
 func (db *DB) Clone() *DB {
 	out := NewDB()
 	out.UseIndexes = db.UseIndexes

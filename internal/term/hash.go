@@ -128,16 +128,24 @@ func (f *Fact) Hash() uint64 {
 	if f.hash != 0 {
 		return f.hash
 	}
+	f.hash = HashFactArgs(f.Pred, f.Args)
+	return f.hash
+}
+
+// HashFactArgs returns the hash the fact pred(args...) would have, without
+// constructing it — duplicate checks probe hash tables with it before
+// paying for an allocation.  It is the single definition of fact hashing;
+// Fact.Hash memoizes it.
+func HashFactArgs(pred string, args []Term) uint64 {
 	h := fnvByte(fnvOffset64, 'F')
-	h = fnvString(h, f.Pred)
+	h = fnvString(h, pred)
 	h = fnvByte(h, 0)
-	h = HashFold(h, uint64(len(f.Args)))
-	for _, a := range f.Args {
+	h = HashFold(h, uint64(len(args)))
+	for _, a := range args {
 		h = HashFold(h, a.Hash())
 	}
 	if h == 0 {
 		h = 1
 	}
-	f.hash = h
 	return h
 }

@@ -548,5 +548,12 @@ func Vars(t Term, seen map[Var]bool, dst []Var) []Var {
 
 // VarsOf returns the variables of t in first-occurrence order.
 func VarsOf(t Term) []Var {
-	return Vars(t, map[Var]bool{}, nil)
+	switch t := t.(type) {
+	case Var:
+		return []Var{t}
+	case *Group, *Compound:
+		return Vars(t, map[Var]bool{}, nil)
+	default:
+		return nil // constants, ground sets, ground facts
+	}
 }

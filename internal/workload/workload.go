@@ -183,6 +183,51 @@ func SetPairs(n, maxCard int, seed int64) *store.DB {
 	return db
 }
 
+// Graph returns an edge relation e(X, Y): a random directed graph on n
+// nodes with roughly edgesPerNode outgoing edges per node (no self-loops).
+// Used by the triangle join benchmark, whose third body literal probes the
+// relation on two bound columns at once.
+func Graph(n, edgesPerNode int, seed int64) *store.DB {
+	r := rand.New(rand.NewSource(seed))
+	db := store.NewDB()
+	for i := 0; i < n; i++ {
+		for k := 0; k < edgesPerNode; k++ {
+			j := r.Intn(n)
+			if j == i {
+				j = (j + 1) % n
+			}
+			db.Insert(term.NewFact("e", person(i), person(j)))
+		}
+	}
+	return db
+}
+
+// WideSelective returns a wide EDB for the selective-join benchmark:
+// wide(G, T, P, W) with n rows whose first column takes only `groups`
+// distinct values and whose (G, T) pair is selective, plus dim(G, T)
+// probe rows covering each group once.  A single-column index on G is
+// nearly useless here (n/groups rows per value); the composite (G, T)
+// index is what makes the join cheap.
+func WideSelective(n, groups, tags int, seed int64) *store.DB {
+	r := rand.New(rand.NewSource(seed))
+	db := store.NewDB()
+	for i := 0; i < n; i++ {
+		g := r.Intn(groups)
+		t := r.Intn(tags)
+		db.Insert(term.NewFact("wide",
+			term.Atom(fmt.Sprintf("g%d", g)),
+			term.Atom(fmt.Sprintf("t%d", t)),
+			term.Atom(fmt.Sprintf("p%d", i)),
+			term.Int(int64(i%7))))
+	}
+	for g := 0; g < groups; g++ {
+		db.Insert(term.NewFact("dim",
+			term.Atom(fmt.Sprintf("g%d", g)),
+			term.Atom(fmt.Sprintf("t%d", g%tags))))
+	}
+	return db
+}
+
 // Merge returns a new database containing the facts of all inputs.
 func Merge(dbs ...*store.DB) *store.DB {
 	out := store.NewDB()
