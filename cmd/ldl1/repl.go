@@ -10,10 +10,13 @@ import (
 )
 
 // repl runs an interactive query loop against the engine.  Lines are
-// queries ("ancestor(abe, W)" or "?- ancestor(abe, W)."); colon commands
-// provide extras:
+// queries ("ancestor(abe, W)" or "?- ancestor(abe, W)."); assert/retract
+// apply incremental update transactions to a materialized view of the
+// model; colon commands provide extras:
 //
-//	:assert f(a, b).   add an extensional fact
+//	assert f(a, b).    insert extensional facts, update the model in place
+//	retract f(a, b).   remove extensional facts, update the model in place
+//	:assert f(a, b).   add an extensional fact (full re-evaluation on query)
 //	:explain f(a, b)   print a proof tree for a fact in the model
 //	:model             print the whole minimal model
 //	:strata            print the layering
@@ -22,6 +25,40 @@ import (
 func repl(eng *ldl1.Engine, in io.Reader, out io.Writer) error {
 	fmt.Fprintln(out, "LDL1 interactive — :help for commands, :quit to leave")
 	sc := bufio.NewScanner(in)
+	// The materialized view is built on first assert/retract; afterwards
+	// queries and :model read its incrementally maintained snapshot.
+	var mat *ldl1.Materialized
+	materialize := func() (*ldl1.Materialized, error) {
+		if mat == nil {
+			m, err := eng.Materialize()
+			if err != nil {
+				return nil, err
+			}
+			mat = m
+		}
+		return mat, nil
+	}
+	update := func(src string, retract bool) {
+		if !strings.HasSuffix(src, ".") {
+			src += "."
+		}
+		m, err := materialize()
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return
+		}
+		var res ldl1.UpdateResult
+		if retract {
+			res, err = m.Retract(src)
+		} else {
+			res, err = m.Assert(src)
+		}
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return
+		}
+		fmt.Fprintf(out, "model: +%d -%d facts\n", res.Inserted, res.Deleted)
+	}
 	for {
 		fmt.Fprint(out, "?- ")
 		if !sc.Scan() {
@@ -36,8 +73,12 @@ func repl(eng *ldl1.Engine, in io.Reader, out io.Writer) error {
 		case line == ":quit" || line == ":q":
 			return nil
 		case line == ":help":
-			fmt.Fprintln(out, ":assert <fact>.  :explain <fact>  :model  :strata  :quit")
+			fmt.Fprintln(out, "assert <fact>.  retract <fact>.  :assert <fact>.  :explain <fact>  :model  :strata  :quit")
 		case line == ":model":
+			if mat != nil {
+				fmt.Fprintln(out, mat.Model())
+				continue
+			}
 			m, err := eng.Run()
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
@@ -46,6 +87,10 @@ func repl(eng *ldl1.Engine, in io.Reader, out io.Writer) error {
 			fmt.Fprintln(out, m)
 		case line == ":strata":
 			printStrata(eng)
+		case strings.HasPrefix(line, "assert "):
+			update(strings.TrimPrefix(line, "assert "), false)
+		case strings.HasPrefix(line, "retract "):
+			update(strings.TrimPrefix(line, "retract "), true)
 		case strings.HasPrefix(line, ":assert "):
 			src := strings.TrimPrefix(line, ":assert ")
 			if !strings.HasSuffix(src, ".") {
@@ -64,6 +109,15 @@ func repl(eng *ldl1.Engine, in io.Reader, out io.Writer) error {
 			fmt.Fprintln(out, why)
 		default:
 			q := strings.TrimSuffix(strings.TrimPrefix(line, "?-"), ".")
+			if mat != nil {
+				ans, err := mat.Query(strings.TrimSpace(q))
+				if err != nil {
+					fmt.Fprintln(out, "error:", err)
+					continue
+				}
+				fmt.Fprintln(out, ans)
+				continue
+			}
 			ans, err := eng.Query(strings.TrimSpace(q))
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)

@@ -61,6 +61,40 @@ func TestReplAssert(t *testing.T) {
 	}
 }
 
+func TestReplAssertRetractIncremental(t *testing.T) {
+	// assert/retract go through the materialized view: the model is
+	// updated in place and queries read the maintained snapshot.
+	out := runRepl(t, newTestEngine(t),
+		"assert parent(carl, dee).\nancestor(abe, dee)\n:quit\n")
+	if !strings.Contains(out, "model: +4 -0 facts") {
+		t.Errorf("assert did not report the net change: %q", out)
+	}
+	if !strings.Contains(out, "yes") {
+		t.Errorf("assert did not take effect: %q", out)
+	}
+
+	out = runRepl(t, newTestEngine(t),
+		"assert parent(carl, dee).\nretract parent(carl, dee).\nancestor(abe, dee)\n:model\n:quit\n")
+	if !strings.Contains(out, "model: +4 -0 facts") || !strings.Contains(out, "model: +0 -4 facts") {
+		t.Errorf("retract did not report the net change: %q", out)
+	}
+	if !strings.Contains(out, "no") {
+		t.Errorf("retract did not take effect: %q", out)
+	}
+	// :model prints the maintained snapshot, which still has the
+	// program's own facts and derived closure.
+	if !strings.Contains(out, "ancestor(abe, carl).") || strings.Contains(out, "dee") {
+		t.Errorf(":model after retract = %q", out)
+	}
+
+	// A rule is rejected; the view stays usable.
+	out = runRepl(t, newTestEngine(t),
+		"assert bad(X) <- parent(X, X).\nancestor(abe, bob)\n:quit\n")
+	if !strings.Contains(out, "error") || !strings.Contains(out, "yes") {
+		t.Errorf("rule assert should error and recover: %q", out)
+	}
+}
+
 func TestReplExplain(t *testing.T) {
 	out := runRepl(t, newTestEngine(t), ":explain ancestor(abe, carl)\n:quit\n")
 	if !strings.Contains(out, "[fact]") || !strings.Contains(out, "parent(abe, bob)") {

@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"ldl1/internal/eval"
+	"ldl1/internal/incr"
 	"ldl1/internal/model"
 	"ldl1/internal/parser"
 	"ldl1/internal/rewrite"
@@ -41,6 +42,13 @@ type benchResult struct {
 	// 0 for operations that do not evaluate rules.
 	IndexHits int64 `json:"index_hits"`
 	FullScans int64 `json:"full_scans"`
+	// Incremental-maintenance counters (v3), nonzero only for the u*
+	// update-stream entries: facts removed by the delete-and-rederive
+	// overestimate, overestimated deletions resurrected, and grouping
+	// ≡-classes recomputed across the operation's transaction stream.
+	DeletedOverestimate int64 `json:"deleted_overestimate"`
+	Rederived           int64 `json:"rederived"`
+	RegroupedClasses    int64 `json:"regrouped_classes"`
 }
 
 type benchReport struct {
@@ -66,6 +74,59 @@ func evalOp(src string, db *store.DB, strat eval.Strategy) func() (eval.Stats, e
 		return st, err
 	}
 }
+
+// incrOp replays an update stream through a materialized view: one initial
+// evaluation, then one incremental Apply per transaction.
+func incrOp(src string, gen func() (*store.DB, []workload.Update)) func() (eval.Stats, error) {
+	p := parser.MustParseProgram(src)
+	return func() (eval.Stats, error) {
+		var st eval.Stats
+		initial, txs := gen()
+		m, err := incr.New(p, initial, incr.Options{Stats: &st})
+		if err != nil {
+			return st, err
+		}
+		for _, u := range txs {
+			if _, err := m.Apply(incr.Tx{Insert: u.Insert, Retract: u.Retract}); err != nil {
+				return st, err
+			}
+		}
+		return st, nil
+	}
+}
+
+// recomputeOp replays the same stream by full recomputation: the EDB is
+// updated in place and the whole fixpoint re-evaluated after every
+// transaction — the baseline the incremental entries are compared against.
+func recomputeOp(src string, gen func() (*store.DB, []workload.Update)) func() (eval.Stats, error) {
+	p := parser.MustParseProgram(src)
+	return func() (eval.Stats, error) {
+		var st eval.Stats
+		db, txs := gen()
+		if _, err := eval.Eval(p, db, eval.Options{Stats: &st}); err != nil {
+			return st, err
+		}
+		for _, u := range txs {
+			for _, f := range u.Insert {
+				db.Insert(f)
+			}
+			for _, f := range u.Retract {
+				db.Delete(f)
+			}
+			if _, err := eval.Eval(p, db, eval.Options{Stats: &st}); err != nil {
+				return st, err
+			}
+		}
+		return st, nil
+	}
+}
+
+// churnRules is the u3 program: negation and grouping over a churning EDB.
+const churnRules = `
+	multi(P) <- sp(S1, P), sp(S2, P), S1 /= S2.
+	sole(S, P) <- sp(S, P), not multi(P).
+	supplies(S, <P>) <- sp(S, P).
+`
 
 func benchEntries() []benchEntry {
 	excl := ancestorRules + `
@@ -152,6 +213,42 @@ func benchEntries() []benchEntry {
 		{"j2", "wide-selective-join-4096",
 			evalOp(`sel(G, P) <- dim(G, T), wide(G, T, P, W).`,
 				workload.WideSelective(4096, 48, 8, 17), eval.SemiNaive)},
+		// Update-stream workloads (v3): each op replays a transaction
+		// stream, incrementally (materialize once, Apply per tx) versus by
+		// full recomputation after every tx.  Paired entries share an id so
+		// the speedup is the ratio of their ns_per_op.
+		{"u1", "update-trickle-incr-chain128",
+			incrOp(ancestorRules, func() (*store.DB, []workload.Update) {
+				return workload.TrickleInserts(128, 32)
+			})},
+		{"u1", "update-trickle-recompute-chain128",
+			recomputeOp(ancestorRules, func() (*store.DB, []workload.Update) {
+				return workload.TrickleInserts(128, 32)
+			})},
+		{"u1", "update-trickle-incr-chain256",
+			incrOp(ancestorRules, func() (*store.DB, []workload.Update) {
+				return workload.TrickleInserts(256, 32)
+			})},
+		{"u1", "update-trickle-recompute-chain256",
+			recomputeOp(ancestorRules, func() (*store.DB, []workload.Update) {
+				return workload.TrickleInserts(256, 32)
+			})},
+		{"u2", "update-mixed-incr-chain128",
+			incrOp(ancestorRules, func() (*store.DB, []workload.Update) {
+				return workload.MixedUpdates(128, 32, 23)
+			})},
+		{"u2", "update-mixed-recompute-chain128",
+			recomputeOp(ancestorRules, func() (*store.DB, []workload.Update) {
+				return workload.MixedUpdates(128, 32, 23)
+			})},
+		{"u3", "update-churn-incr-sp64x8",
+			incrOp(churnRules, func() (*store.DB, []workload.Update) {
+				return workload.ChurnSupplierParts(64, 8, 32, 29)
+			})},
+		{"u3", "update-churn-recompute-sp64x8",
+			recomputeOp(churnRules, func() (*store.DB, []workload.Update) {
+				return workload.ChurnSupplierParts(64, 8, 32, 29)
+			})},
 	}
 }
 
@@ -167,7 +264,7 @@ func runBenchJSON(path string, reps int) error {
 	}
 	defer out.Close()
 	report := benchReport{
-		Version:   2, // v2 adds index_hits / full_scans per row
+		Version:   3, // v3 adds the incremental-maintenance counters per row
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -195,14 +292,17 @@ func runBenchJSON(path string, reps int) error {
 			}
 		}
 		row := benchResult{
-			ID:           e.id,
-			Name:         e.name,
-			NsPerOp:      r.NsPerOp(),
-			AllocsPerOp:  r.AllocsPerOp(),
-			BytesPerOp:   r.AllocedBytesPerOp(),
-			DerivedFacts: int64(st.Derived),
-			IndexHits:    int64(st.IndexHits),
-			FullScans:    int64(st.FullScans),
+			ID:                  e.id,
+			Name:                e.name,
+			NsPerOp:             r.NsPerOp(),
+			AllocsPerOp:         r.AllocsPerOp(),
+			BytesPerOp:          r.AllocedBytesPerOp(),
+			DerivedFacts:        int64(st.Derived),
+			IndexHits:           int64(st.IndexHits),
+			FullScans:           int64(st.FullScans),
+			DeletedOverestimate: int64(st.DeletedOverestimate),
+			Rederived:           int64(st.Rederived),
+			RegroupedClasses:    int64(st.RegroupedClasses),
 		}
 		if st.Derived > 0 && r.NsPerOp() > 0 {
 			row.FactsPerSec = float64(st.Derived) * 1e9 / float64(r.NsPerOp())

@@ -269,7 +269,10 @@ func (m *Model) Contains(factSrc string) (bool, error) {
 // Facts returns the model's facts for one predicate, rendered as source
 // text, sorted.
 func (m *Model) Facts(pred string) []string {
-	rel := m.db.Rel(pred)
+	rel := m.db.RelOrNil(pred)
+	if rel == nil {
+		return nil
+	}
 	out := make([]string, 0, rel.Len())
 	for _, f := range rel.All() {
 		out = append(out, f.String())

@@ -42,6 +42,32 @@ type Stats struct {
 	// plan had no ground column for the literal, or the relation was
 	// below store.IndexThreshold.
 	FullScans int
+	// DeletedOverestimate counts facts removed by the delete-and-rederive
+	// overestimation step of incremental maintenance (internal/incr).
+	DeletedOverestimate int
+	// Rederived counts overestimated deletions resurrected because an
+	// alternative derivation survived the transaction.
+	Rederived int
+	// RegroupedClasses counts ≡-equivalence classes of grouping rules
+	// invalidated and regrouped by incremental maintenance.
+	RegroupedClasses int
+}
+
+// Merge adds the counters of other into s — the single-threaded merge point
+// for per-worker Stats of parallel maintenance rounds, mirroring how
+// IndexHits/FullScans are flushed across evaluation workers.
+func (s *Stats) Merge(other *Stats) {
+	if s == nil || other == nil {
+		return
+	}
+	s.Iterations += other.Iterations
+	s.Derived += other.Derived
+	s.Firings += other.Firings
+	s.IndexHits += other.IndexHits
+	s.FullScans += other.FullScans
+	s.DeletedOverestimate += other.DeletedOverestimate
+	s.Rederived += other.Rederived
+	s.RegroupedClasses += other.RegroupedClasses
 }
 
 // Options configures evaluation.
@@ -544,11 +570,20 @@ func (ex *exec) join(body []ast.Literal, p *bodyPlan, step int, b *unify.Binding
 	return nil
 }
 
+// emptyRel is the shared placeholder candidates source for predicates with
+// no relation yet.  relFor must not create relations: workers and
+// maintenance enumerations run against shared (even published) databases,
+// and db.Rel would mutate the relation map under concurrent readers.
+var emptyRel = store.NewRelation("$empty", false)
+
 func (ex *exec) relFor(litIdx int, pred string) *store.Relation {
 	if ex.delta != nil && litIdx == ex.deltaSlot {
 		return ex.delta
 	}
-	return ex.db.Rel(pred)
+	if r := ex.db.RelOrNil(pred); r != nil {
+		return r
+	}
+	return emptyRel
 }
 
 // candidates narrows the fact scan through the literal's compiled access

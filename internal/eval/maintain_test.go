@@ -1,0 +1,156 @@
+package eval
+
+import (
+	"testing"
+
+	"ldl1/internal/parser"
+	"ldl1/internal/store"
+	"ldl1/internal/term"
+	"ldl1/internal/unify"
+)
+
+func mustCompileRule(t *testing.T, src string) *CompiledRule {
+	t.Helper()
+	p := parser.MustParseProgram(src)
+	cr, err := CompileRule(p.Rules[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cr
+}
+
+func atom(s string) term.Term { return term.Atom(s) }
+
+func TestEnumerateDeltaPositive(t *testing.T) {
+	cr := mustCompileRule(t, `anc(X, Y) <- par(X, Z), anc(Z, Y).`)
+	db := store.NewDB()
+	db.Insert(term.NewFact("par", atom("a"), atom("b")))
+	db.Insert(term.NewFact("par", atom("b"), atom("c")))
+	db.Insert(term.NewFact("anc", atom("b"), atom("c")))
+
+	// Delta on the anc literal (index 1): only anc(b, c) is new.
+	delta := store.NewRelation("anc", false)
+	delta.Insert(term.NewFact("anc", atom("b"), atom("c")))
+	var got []*term.Fact
+	var st Stats
+	err := cr.EnumerateDelta(db, 1, delta, &st, func(b *unify.Bindings) error {
+		args, ok, err := cr.ApplyHead(b)
+		if err != nil || !ok {
+			return err
+		}
+		got = append(got, term.NewFact("anc", args...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !term.EqualFacts(got[0], term.NewFact("anc", atom("a"), atom("c"))) {
+		t.Fatalf("delta enumeration = %v, want [anc(a, c)]", got)
+	}
+}
+
+func TestEnumerateDeltaNegated(t *testing.T) {
+	// q(X) <- p(X), not r(X): a delta on the negated literal enumerates
+	// the solutions whose r-fact appeared (or disappeared).
+	cr := mustCompileRule(t, `q(X) <- p(X), not r(X).`)
+	if cr.HasDelta(0) != true || cr.HasDelta(1) != true {
+		t.Fatal("both body literals should carry delta plans")
+	}
+	db := store.NewDB()
+	db.Insert(term.NewFact("p", atom("a")))
+	db.Insert(term.NewFact("p", atom("b")))
+
+	delta := store.NewRelation("r", false)
+	delta.Insert(term.NewFact("r", atom("a")))
+	delta.Insert(term.NewFact("r", atom("z"))) // no matching p: ignored
+	var got []*term.Fact
+	err := cr.EnumerateDelta(db, 1, delta, nil, func(b *unify.Bindings) error {
+		args, ok, err := cr.ApplyHead(b)
+		if err != nil || !ok {
+			return err
+		}
+		got = append(got, term.NewFact("q", args...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !term.EqualFacts(got[0], term.NewFact("q", atom("a"))) {
+		t.Fatalf("negated delta enumeration = %v, want [q(a)]", got)
+	}
+}
+
+func TestDerives(t *testing.T) {
+	cr := mustCompileRule(t, `anc(X, Y) <- par(X, Z), anc(Z, Y).`)
+	db := store.NewDB()
+	db.Insert(term.NewFact("par", atom("a"), atom("b")))
+	db.Insert(term.NewFact("anc", atom("b"), atom("c")))
+
+	ok, err := cr.Derives(db, term.NewFact("anc", atom("a"), atom("c")), nil)
+	if err != nil || !ok {
+		t.Fatalf("Derives(anc(a,c)) = %v, %v; want true", ok, err)
+	}
+	ok, err = cr.Derives(db, term.NewFact("anc", atom("c"), atom("a")), nil)
+	if err != nil || ok {
+		t.Fatalf("Derives(anc(c,a)) = %v, %v; want false", ok, err)
+	}
+	// Wrong predicate / arity never derives.
+	ok, _ = cr.Derives(db, term.NewFact("par", atom("a"), atom("b")), nil)
+	if ok {
+		t.Fatal("Derives matched a different predicate")
+	}
+}
+
+func TestDerivesArithmeticHeadFallback(t *testing.T) {
+	// X+Y in the head cannot be inverted by matching; Derives must fall
+	// back to enumeration and still answer correctly.
+	cr := mustCompileRule(t, `sum(X, X + Y) <- a(X), b(Y).`)
+	if cr.headMatchable {
+		t.Fatal("arithmetic head should not be matchable")
+	}
+	db := store.NewDB()
+	db.Insert(term.NewFact("a", term.Int(2)))
+	db.Insert(term.NewFact("b", term.Int(3)))
+	ok, err := cr.Derives(db, term.NewFact("sum", term.Int(2), term.Int(5)), nil)
+	if err != nil || !ok {
+		t.Fatalf("Derives(sum(2,5)) = %v, %v; want true", ok, err)
+	}
+	ok, err = cr.Derives(db, term.NewFact("sum", term.Int(2), term.Int(6)), nil)
+	if err != nil || ok {
+		t.Fatalf("Derives(sum(2,6)) = %v, %v; want false", ok, err)
+	}
+}
+
+func TestEnumerateBoundGroupingClass(t *testing.T) {
+	cr := mustCompileRule(t, `supplies(S, <P>) <- sp(S, P).`)
+	if cr.GroupIdx() != 1 || !cr.ClassBindable() {
+		t.Fatalf("GroupIdx = %d, ClassBindable = %v", cr.GroupIdx(), cr.ClassBindable())
+	}
+	db := store.NewDB()
+	db.Insert(term.NewFact("sp", atom("s1"), atom("p1")))
+	db.Insert(term.NewFact("sp", atom("s1"), atom("p2")))
+	db.Insert(term.NewFact("sp", atom("s2"), atom("p3")))
+
+	pre := unify.NewBindings()
+	pre.Bind(cr.HeadVars()[0], atom("s1"))
+	var elems []term.Term
+	err := cr.EnumerateBound(db, pre, nil, func(b *unify.Bindings) error {
+		v, err := unify.Apply(cr.GroupVar(), b)
+		if err != nil {
+			return err
+		}
+		elems = append(elems, v)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := term.NewSet(elems...)
+	want := term.NewSet(atom("p1"), atom("p2"))
+	if !term.Equal(got, want) {
+		t.Fatalf("class for s1 = %s, want %s", got, want)
+	}
+	if pre.Len() != 1 {
+		t.Fatalf("EnumerateBound leaked bindings: %d", pre.Len())
+	}
+}

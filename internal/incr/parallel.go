@@ -1,0 +1,66 @@
+package incr
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ldl1/internal/eval"
+	"ldl1/internal/term"
+)
+
+// task is one unit of a maintenance round: a read-only enumeration against
+// the current snapshots producing candidate facts.  Each task receives a
+// private Stats so workers never contend on counters.
+type task func(st *eval.Stats) ([]*term.Fact, error)
+
+// runTasks executes the tasks of one round, concurrently when the handle
+// has Workers > 1, and returns the results in task order.  Merging in task
+// order — not completion order — makes parallel maintenance produce the
+// same model, fact for fact and in the same relation order, as sequential
+// maintenance.  Per-task stats merge into st single-threaded.
+func (m *Materialized) runTasks(tasks []task, st *eval.Stats) ([][]*term.Fact, error) {
+	if len(tasks) == 0 {
+		return nil, nil
+	}
+	workers := m.opts.Workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		out := make([][]*term.Fact, len(tasks))
+		for i, t := range tasks {
+			fs, err := t(st)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = fs
+		}
+		return out, nil
+	}
+	out := make([][]*term.Fact, len(tasks))
+	errs := make([]error, len(tasks))
+	stats := make([]eval.Stats, len(tasks))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				out[i], errs[i] = tasks[i](&stats[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range tasks {
+		st.Merge(&stats[i])
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+	}
+	return out, nil
+}

@@ -115,6 +115,16 @@ func Stratify(p *ast.Program) (*Layering, error) {
 	return l, nil
 }
 
+// PredStratum returns the layer index of pred, defaulting to 0 for
+// predicates the program never mentions (pure-EDB predicates created by
+// updates land in the bottom layer, where every rule may read them).
+func (l *Layering) PredStratum(pred string) int {
+	if s, ok := l.Stratum[pred]; ok {
+		return s
+	}
+	return 0
+}
+
 // Admissible reports whether the program has a layering (Lemma 3.1).
 func Admissible(p *ast.Program) bool {
 	_, err := Stratify(p)

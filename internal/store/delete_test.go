@@ -1,0 +1,206 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"ldl1/internal/term"
+)
+
+func fact(pred string, args ...int) *term.Fact {
+	ts := make([]term.Term, len(args))
+	for i, a := range args {
+		ts[i] = term.Int(int64(a))
+	}
+	return term.NewFact(pred, ts...)
+}
+
+func TestRelationDelete(t *testing.T) {
+	r := NewRelation("p", true)
+	for i := 0; i < 5; i++ {
+		r.Insert(fact("p", i, i+1))
+	}
+	if !r.Delete(fact("p", 2, 3)) {
+		t.Fatal("Delete of present fact returned false")
+	}
+	if r.Delete(fact("p", 2, 3)) {
+		t.Fatal("second Delete of same fact returned true")
+	}
+	if r.Delete(fact("p", 9, 9)) {
+		t.Fatal("Delete of absent fact returned true")
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Contains(fact("p", 2, 3)) {
+		t.Fatal("deleted fact still present")
+	}
+	if g, ok := r.GetArgs([]term.Term{term.Int(2), term.Int(3)}); ok || g != nil {
+		t.Fatal("GetArgs finds deleted fact")
+	}
+	// Reinsert works and the fact is live again.
+	if !r.Insert(fact("p", 2, 3)) {
+		t.Fatal("reinsert after delete returned false")
+	}
+	if !r.Contains(fact("p", 2, 3)) {
+		t.Fatal("reinserted fact missing")
+	}
+}
+
+// TestRelationDeleteStableOrder pins the satellite guarantee: retraction
+// preserves the insertion order of the surviving facts, so -exp output and
+// golden tests don't flake once tombstones exist.
+func TestRelationDeleteStableOrder(t *testing.T) {
+	r := NewRelation("p", true)
+	for i := 0; i < 8; i++ {
+		r.Insert(fact("p", i))
+	}
+	r.Delete(fact("p", 3))
+	r.Delete(fact("p", 0))
+	r.Delete(fact("p", 7))
+	want := []int{1, 2, 4, 5, 6}
+	all := r.All()
+	if len(all) != len(want) {
+		t.Fatalf("len(All) = %d, want %d", len(all), len(want))
+	}
+	for i, f := range all {
+		if !term.EqualFacts(f, fact("p", want[i])) {
+			t.Fatalf("All()[%d] = %s, want p(%d)", i, f, want[i])
+		}
+	}
+	// Insertion after deletion appends at the end, keeping order stable.
+	r.Insert(fact("p", 99))
+	all = r.All()
+	if !term.EqualFacts(all[len(all)-1], fact("p", 99)) {
+		t.Fatalf("new fact not at end: %s", all[len(all)-1])
+	}
+}
+
+// TestFactTableTombstoneChurn drives insert/delete cycles well past the
+// table size so tombstone reuse and the compacting grow path both run.
+func TestFactTableTombstoneChurn(t *testing.T) {
+	r := NewRelation("p", false)
+	live := map[int]bool{}
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 20; i++ {
+			k := round*20 + i
+			r.Insert(fact("p", k))
+			live[k] = true
+		}
+		for k := range live {
+			if k%3 != 0 {
+				r.Delete(fact("p", k))
+				delete(live, k)
+			}
+		}
+	}
+	if r.Len() != len(live) {
+		t.Fatalf("Len = %d, want %d", r.Len(), len(live))
+	}
+	for k := range live {
+		if !r.Contains(fact("p", k)) {
+			t.Fatalf("live fact p(%d) missing", k)
+		}
+	}
+	if r.Contains(fact("p", 1)) {
+		t.Fatal("deleted fact p(1) still present")
+	}
+}
+
+// TestDeleteMaintainsIndexes builds single-column and composite indexes,
+// deletes through them, and checks probes see the removals.
+func TestDeleteMaintainsIndexes(t *testing.T) {
+	r := NewRelation("e", true)
+	for i := 0; i < 64; i++ {
+		r.Insert(fact("e", i%8, i))
+	}
+	// Build a single-column and a composite index.
+	if got := r.Lookup(0, term.Int(3)); len(got) != 8 {
+		t.Fatalf("pre-delete Lookup col0=3: %d facts, want 8", len(got))
+	}
+	if got, indexed := r.LookupCols([]int{0, 1}, []term.Term{term.Int(3), term.Int(11)}); !indexed || len(got) != 1 {
+		t.Fatalf("pre-delete composite probe: %d facts (indexed=%v), want 1", len(got), indexed)
+	}
+	if !r.Delete(fact("e", 3, 11)) {
+		t.Fatal("delete failed")
+	}
+	if got := r.Lookup(0, term.Int(3)); len(got) != 7 {
+		t.Fatalf("post-delete Lookup col0=3: %d facts, want 7", len(got))
+	}
+	if got, _ := r.LookupCols([]int{0, 1}, []term.Term{term.Int(3), term.Int(11)}); len(got) != 0 {
+		t.Fatalf("post-delete composite probe: %d facts, want 0", len(got))
+	}
+	// Insert after delete is visible through both indexes again.
+	r.Insert(fact("e", 3, 11))
+	if got := r.Lookup(0, term.Int(3)); len(got) != 8 {
+		t.Fatalf("post-reinsert Lookup col0=3: %d facts, want 8", len(got))
+	}
+}
+
+func TestDBForkCopyOnWrite(t *testing.T) {
+	base := NewDB()
+	for i := 0; i < 32; i++ {
+		base.Insert(fact("p", i))
+		base.Insert(fact("q", i))
+	}
+	w := base.Fork()
+
+	// Mutations through the fork: one relation deleted from, one inserted
+	// into, one created fresh.
+	if !w.Delete(fact("p", 5)) {
+		t.Fatal("fork delete failed")
+	}
+	w.Insert(fact("q", 100))
+	w.Insert(fact("r", 1))
+
+	if base.Contains(fact("p", 5)) == false {
+		t.Fatal("base lost p(5) through fork mutation")
+	}
+	if base.Contains(fact("q", 100)) {
+		t.Fatal("base gained q(100) through fork mutation")
+	}
+	if base.Has("r") {
+		t.Fatal("base gained relation r through fork mutation")
+	}
+	if w.Contains(fact("p", 5)) {
+		t.Fatal("fork still has deleted p(5)")
+	}
+	if !w.Contains(fact("q", 100)) || !w.Contains(fact("r", 1)) {
+		t.Fatal("fork missing its own inserts")
+	}
+	// Unmutated relations stay pointer-shared; mutated ones are copies.
+	if base.RelOrNil("p") == w.RelOrNil("p") {
+		t.Fatal("mutated relation p still shared")
+	}
+	if base.Len() != 64 {
+		t.Fatalf("base Len = %d, want 64", base.Len())
+	}
+	if w.Len() != 64+1 {
+		t.Fatalf("fork Len = %d, want 65", w.Len())
+	}
+
+	// A no-op delete must not unshare.
+	w2 := base.Fork()
+	if w2.Delete(fact("p", 999)) {
+		t.Fatal("delete of absent fact returned true")
+	}
+	if base.RelOrNil("p") != w2.RelOrNil("p") {
+		t.Fatal("no-op delete unshared the relation")
+	}
+}
+
+func TestForkPredsAndString(t *testing.T) {
+	base := NewDB()
+	base.Insert(fact("b", 1))
+	base.Insert(fact("a", 1))
+	w := base.Fork()
+	w.Insert(fact("c", 1))
+	want := []string{"b", "a", "c"}
+	got := w.Preds()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("fork Preds = %v, want %v", got, want)
+	}
+	if base.String() == w.String() {
+		t.Fatal("fork String should differ after insert")
+	}
+}

@@ -8,11 +8,18 @@ import "ldl1/internal/term"
 // allocations), probes linearly with the memoized structural hash, and
 // never rehashes strings.  Collisions — distinct facts sharing a 64-bit
 // hash — simply probe past each other and are told apart by
-// term.EqualFacts.  No deletion is supported (relations only grow).
+// term.EqualFacts.  Deletion (incremental maintenance retracts facts)
+// leaves a tombstone so later entries in the probe chain stay reachable;
+// tombstone slots are reused by insert and swept out on growth.
 type factTable struct {
 	entries []*term.Fact // power-of-two sized; nil slots are empty
-	n       int
+	n       int          // live entries
+	dead    int          // tombstone slots awaiting reuse or sweep
 }
+
+// tombstone marks a deleted slot.  It is compared by pointer identity only
+// and never escapes the table.
+var tombstone = &term.Fact{Pred: "\x00deleted"}
 
 const factTableMinSize = 8
 
@@ -31,7 +38,7 @@ func (t *factTable) get(h uint64, f *term.Fact) *term.Fact {
 	}
 	mask := uint64(len(t.entries) - 1)
 	for i := h & mask; t.entries[i] != nil; i = (i + 1) & mask {
-		if g := t.entries[i]; hashFact(g) == h && term.EqualFacts(g, f) {
+		if g := t.entries[i]; g != tombstone && hashFact(g) == h && term.EqualFacts(g, f) {
 			return g
 		}
 	}
@@ -49,7 +56,7 @@ func (t *factTable) getArgs(h uint64, pred string, args []term.Term) *term.Fact 
 probe:
 	for i := h & mask; t.entries[i] != nil; i = (i + 1) & mask {
 		g := t.entries[i]
-		if hashFact(g) != h || g.Pred != pred || len(g.Args) != len(args) {
+		if g == tombstone || hashFact(g) != h || g.Pred != pred || len(g.Args) != len(args) {
 			continue
 		}
 		for j := range args {
@@ -63,30 +70,59 @@ probe:
 }
 
 // insert places f (whose hash is h) into the table.  The caller must have
-// checked with get that no equal fact is present.
+// checked with get that no equal fact is present.  The first tombstone on
+// the probe path is reused.
 func (t *factTable) insert(h uint64, f *term.Fact) {
-	if (t.n+1)*4 > len(t.entries)*3 {
+	if (t.n+t.dead+1)*4 > len(t.entries)*3 {
 		t.grow()
 	}
 	mask := uint64(len(t.entries) - 1)
 	i := h & mask
 	for t.entries[i] != nil {
+		if t.entries[i] == tombstone {
+			t.dead--
+			break
+		}
 		i = (i + 1) & mask
 	}
 	t.entries[i] = f
 	t.n++
 }
 
+// remove deletes the entry holding exactly g (a canonical pointer returned
+// by get), leaving a tombstone so probe chains through the slot survive.
+func (t *factTable) remove(h uint64, g *term.Fact) bool {
+	if len(t.entries) == 0 {
+		return false
+	}
+	mask := uint64(len(t.entries) - 1)
+	for i := h & mask; t.entries[i] != nil; i = (i + 1) & mask {
+		if t.entries[i] == g {
+			t.entries[i] = tombstone
+			t.n--
+			t.dead++
+			return true
+		}
+	}
+	return false
+}
+
 func (t *factTable) grow() {
 	old := t.entries
-	size := len(old) * 2
+	// Tombstones are swept on every rebuild, so a delete-heavy workload
+	// that hovers around one size re-compacts in place instead of growing.
+	size := len(old)
 	if size < factTableMinSize {
 		size = factTableMinSize
 	}
+	for t.n*4 >= size*3 {
+		size *= 2
+	}
 	t.entries = make([]*term.Fact, size)
+	t.dead = 0
 	mask := uint64(size - 1)
 	for _, f := range old {
-		if f == nil {
+		if f == nil || f == tombstone {
 			continue
 		}
 		i := hashFact(f) & mask
@@ -101,5 +137,5 @@ func (t *factTable) grow() {
 func (t *factTable) clone() *factTable {
 	entries := make([]*term.Fact, len(t.entries))
 	copy(entries, t.entries)
-	return &factTable{entries: entries, n: t.n}
+	return &factTable{entries: entries, n: t.n, dead: t.dead}
 }

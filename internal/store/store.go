@@ -110,6 +110,59 @@ func (ix *index) sameVals(vals []term.Term, f *term.Fact) bool {
 	return true
 }
 
+// clone returns a private copy of the index: bucket fact slices are copied
+// (Insert appends to them in place, so sharing would alias the original),
+// vals and column metadata are shared.  Copying an entry per distinct key
+// is several times cheaper than re-hashing every fact through add, which
+// is what makes cloning indexes across a copy-on-write unshare worthwhile:
+// an incremental transaction would otherwise rebuild every index of every
+// relation it touches from scratch.
+func (ix *index) clone() *index {
+	m := make(map[uint64]*idxEntry, len(ix.m))
+	for h, e := range ix.m {
+		var head, tail *idxEntry
+		for ; e != nil; e = e.next {
+			ne := &idxEntry{
+				vals:  e.vals,
+				facts: append([]*term.Fact(nil), e.facts...),
+			}
+			if tail == nil {
+				head = ne
+			} else {
+				tail.next = ne
+			}
+			tail = ne
+		}
+		m[h] = head
+	}
+	return &index{mask: ix.mask, cols: ix.cols, m: m}
+}
+
+// remove drops a fact from its bucket (pointer identity: facts reaching an
+// index are the relation's canonical pointers).  Bucket order is preserved
+// so candidate enumeration stays deterministic under retraction.
+func (ix *index) remove(f *term.Fact) {
+	h := term.HashSeed
+	for _, c := range ix.cols {
+		if c >= len(f.Args) {
+			return
+		}
+		h = term.HashFold(h, hashTerm(f.Args[c]))
+	}
+	for e := ix.m[h]; e != nil; e = e.next {
+		if !ix.sameVals(e.vals, f) {
+			continue
+		}
+		for i, g := range e.facts {
+			if g == f {
+				e.facts = append(e.facts[:i], e.facts[i+1:]...)
+				return
+			}
+		}
+		return
+	}
+}
+
 func (ix *index) probe(vals []term.Term) []*term.Fact {
 	for e := ix.m[ix.keyOf(vals)]; e != nil; e = e.next {
 		match := true
@@ -221,6 +274,105 @@ func (r *Relation) InsertGet(f *term.Fact) (*term.Fact, bool) {
 	return f, true
 }
 
+// Delete removes the fact equal to f, reporting whether it was present.
+// The insertion order of the surviving facts is unchanged — All() remains a
+// stable snapshot ordering under retraction — and every built index is
+// maintained in place.  Like Insert, Delete is single-writer.
+func (r *Relation) Delete(f *term.Fact) bool {
+	if r.table == nil {
+		r.rebuildTable()
+	}
+	h := hashFact(f)
+	g := r.table.get(h, f)
+	if g == nil {
+		return false
+	}
+	r.table.remove(h, g)
+	for i, x := range r.facts {
+		if x == g {
+			r.facts = append(r.facts[:i], r.facts[i+1:]...)
+			break
+		}
+	}
+	if p := r.indexes.Load(); p != nil {
+		for _, ix := range *p {
+			ix.remove(g)
+		}
+	}
+	return true
+}
+
+// DeleteAll removes every listed fact present in the relation, returning
+// how many were removed.  The insertion-order slice is compacted in one
+// sweep, so a batch of k retractions costs O(n + k) instead of the k
+// O(n) splices of repeated Delete — the shape of DRed's per-transaction
+// batch delete.  Surviving facts keep their relative order.  Like Insert
+// and Delete, DeleteAll is single-writer.
+func (r *Relation) DeleteAll(fs []*term.Fact) int {
+	if len(fs) == 0 {
+		return 0
+	}
+	if r.table == nil {
+		r.rebuildTable()
+	}
+	victims := make(map[*term.Fact]bool, len(fs))
+	removed := make([]*term.Fact, 0, len(fs))
+	for _, f := range fs {
+		h := hashFact(f)
+		g := r.table.get(h, f)
+		if g == nil {
+			continue
+		}
+		r.table.remove(h, g)
+		victims[g] = true
+		removed = append(removed, g)
+	}
+	if len(removed) == 0 {
+		return 0
+	}
+	kept := r.facts[:0]
+	for _, x := range r.facts {
+		if !victims[x] {
+			kept = append(kept, x)
+		}
+	}
+	for i := len(kept); i < len(r.facts); i++ {
+		r.facts[i] = nil // release the tail for the GC
+	}
+	r.facts = kept
+	if p := r.indexes.Load(); p != nil {
+		for _, g := range removed {
+			for _, ix := range *p {
+				ix.remove(g)
+			}
+		}
+	}
+	return len(removed)
+}
+
+// cloneForWrite returns a private copy sharing no mutable state with r:
+// the facts slice, interning table, and built indexes are all copied, so
+// the copy is immediately writable and keeps serving indexed probes
+// without a rebuild.  Fact pointers are shared — facts are immutable.
+func (r *Relation) cloneForWrite() *Relation {
+	nr := &Relation{
+		Name:   r.Name,
+		facts:  append([]*term.Fact(nil), r.facts...),
+		useIdx: r.useIdx,
+	}
+	if r.table != nil {
+		nr.table = r.table.clone()
+	}
+	if p := r.indexes.Load(); p != nil {
+		next := make([]*index, len(*p))
+		for i, ix := range *p {
+			next[i] = ix.clone()
+		}
+		nr.indexes.Store(&next)
+	}
+	return nr
+}
+
 // rebuildTable constructs the interning table from the fact slice; only
 // chunk relations (NewChunk) ever take this path, and only if someone
 // inserts into them after construction.
@@ -317,8 +469,12 @@ func (r *Relation) Lookup(col int, value term.Term) []*term.Fact {
 
 // DB is a database: a set of U-facts grouped into relations.
 type DB struct {
-	rels       map[string]*Relation
-	order      []string // relation creation order, for deterministic output
+	rels  map[string]*Relation
+	order []string // relation creation order, for deterministic output
+	// shared marks relations still co-owned with the DB this one was
+	// Forked from; they are unshared (copied) on first mutation.  nil for
+	// databases that never forked.
+	shared     map[string]bool
 	UseIndexes bool
 }
 
@@ -351,8 +507,55 @@ func (db *DB) RelOrNil(pred string) *Relation {
 	return db.rels[pred]
 }
 
+// MutableRel returns the relation for pred, guaranteed safe to mutate:
+// relations still shared with the database this one was Forked from are
+// unshared (facts and interning table copied) first.
+func (db *DB) MutableRel(pred string) *Relation {
+	r := db.Rel(pred)
+	if db.shared != nil && db.shared[pred] {
+		r = r.cloneForWrite()
+		db.rels[pred] = r
+		delete(db.shared, pred)
+	}
+	return r
+}
+
 // Insert adds a fact, reporting whether it was new.
-func (db *DB) Insert(f *term.Fact) bool { return db.Rel(f.Pred).Insert(f) }
+func (db *DB) Insert(f *term.Fact) bool { return db.MutableRel(f.Pred).Insert(f) }
+
+// Delete removes a fact, reporting whether it was present.  A relation
+// shared with a forked-from database is unshared only when the fact is
+// actually there, so pure-miss deletes never copy anything.
+func (db *DB) Delete(f *term.Fact) bool {
+	r, ok := db.rels[f.Pred]
+	if !ok || !r.Contains(f) {
+		return false
+	}
+	return db.MutableRel(f.Pred).Delete(f)
+}
+
+// DeleteAll removes every listed fact present in the database, returning
+// how many were removed.  Facts are grouped by predicate so each touched
+// relation is unshared at most once and compacted in a single sweep.
+func (db *DB) DeleteAll(fs []*term.Fact) int {
+	byPred := make(map[string][]*term.Fact)
+	var order []string
+	for _, f := range fs {
+		r, ok := db.rels[f.Pred]
+		if !ok || !r.Contains(f) {
+			continue
+		}
+		if _, seen := byPred[f.Pred]; !seen {
+			order = append(order, f.Pred)
+		}
+		byPred[f.Pred] = append(byPred[f.Pred], f)
+	}
+	n := 0
+	for _, p := range order {
+		n += db.MutableRel(p).DeleteAll(byPred[p])
+	}
+	return n
+}
 
 // Contains reports whether the database holds the fact.
 func (db *DB) Contains(f *term.Fact) bool {
@@ -400,6 +603,27 @@ func (db *DB) Clone() *DB {
 		} else {
 			nr.table = r.table.clone()
 		}
+	}
+	return out
+}
+
+// Fork returns a copy-on-write view of the database: every relation is
+// shared with db until first mutated through the fork, at which point it is
+// copied (facts slice + interning table; indexes rebuild on demand).  The
+// original database must not be mutated while forks of it are alive —
+// incremental maintenance forks the published model snapshot, mutates only
+// the fork, and publishes it, so concurrent readers of the old snapshot
+// never observe a half-applied transaction.
+func (db *DB) Fork() *DB {
+	out := &DB{
+		rels:       make(map[string]*Relation, len(db.rels)),
+		order:      append([]string(nil), db.order...),
+		shared:     make(map[string]bool, len(db.rels)),
+		UseIndexes: db.UseIndexes,
+	}
+	for p, r := range db.rels {
+		out.rels[p] = r
+		out.shared[p] = true
 	}
 	return out
 }

@@ -228,6 +228,102 @@ func WideSelective(n, groups, tags int, seed int64) *store.DB {
 	return db
 }
 
+// Update is one transaction of an update-stream workload: facts to insert
+// into and retract from the EDB.  The incremental-maintenance benchmarks
+// replay a stream of Updates against a materialized view and against
+// from-scratch recomputation.
+type Update struct {
+	Insert  []*term.Fact
+	Retract []*term.Fact
+}
+
+// TrickleInserts (u1) returns a parent chain of the given length plus a
+// stream of single-insert transactions, each extending the chain by one
+// edge — the pure-insertion workload where semi-naive delta propagation
+// shines against recomputation.
+func TrickleInserts(chain, txCount int) (*store.DB, []Update) {
+	db := ParentChain(chain)
+	txs := make([]Update, txCount)
+	for t := range txs {
+		i := chain + t
+		txs[t] = Update{Insert: []*term.Fact{
+			term.NewFact("parent", person(i), person(i+1)),
+		}}
+	}
+	return db, txs
+}
+
+// MixedUpdates (u2) returns a parent chain carrying a layer of random
+// forward shortcut edges, plus a stream of transactions that each insert
+// one fresh shortcut and retract one live shortcut, exercising insertion
+// propagation and delete-and-rederive together.  The chain backbone is
+// never retracted: shortcut edges always point forward (i < j, acyclic)
+// and pairs broken by a shortcut deletion stay derivable via the chain,
+// so the workload measures the bounded-impact steady state rather than
+// DRed's worst case (cutting the backbone invalidates a quadratic slice
+// of the closure, where recomputation is the right tool anyway).
+func MixedUpdates(chain, txCount int, seed int64) (*store.DB, []Update) {
+	r := rand.New(rand.NewSource(seed))
+	db := ParentChain(chain)
+	shortcut := func() *term.Fact {
+		i := r.Intn(chain - 1)
+		j := i + 1 + r.Intn(chain-i-1)
+		return term.NewFact("parent", person(i), person(j))
+	}
+	live := make([]*term.Fact, 0, chain/4+txCount)
+	for k := 0; k < chain/4; k++ {
+		f := shortcut()
+		if db.Insert(f) {
+			live = append(live, f)
+		}
+	}
+	txs := make([]Update, txCount)
+	for t := range txs {
+		ins := shortcut()
+		k := r.Intn(len(live))
+		del := live[k]
+		live = append(live[:k], live[k+1:]...)
+		live = append(live, ins)
+		txs[t] = Update{Insert: []*term.Fact{ins}, Retract: []*term.Fact{del}}
+	}
+	return db, txs
+}
+
+// ChurnSupplierParts (u3) returns a supplier catalog plus a stream of
+// transactions that each insert two random sp facts and retract two live
+// ones — EDB churn underneath negation and grouping heads, the workload
+// that drives ≡-class regrouping and the DRed cross-effects.
+func ChurnSupplierParts(suppliers, partsPer, txCount int, seed int64) (*store.DB, []Update) {
+	r := rand.New(rand.NewSource(seed))
+	db := SupplierParts(suppliers, partsPer, seed)
+	pool := suppliers * partsPer / 2
+	if pool < 1 {
+		pool = 1
+	}
+	sp := func() *term.Fact {
+		return term.NewFact("sp",
+			term.Atom(fmt.Sprintf("s%d", r.Intn(suppliers))),
+			term.Atom(fmt.Sprintf("p%d", r.Intn(pool))))
+	}
+	live := append([]*term.Fact(nil), db.Facts()...)
+	txs := make([]Update, txCount)
+	for t := range txs {
+		var u Update
+		for k := 0; k < 2; k++ {
+			f := sp()
+			u.Insert = append(u.Insert, f)
+			live = append(live, f)
+		}
+		for k := 0; k < 2 && len(live) > 0; k++ {
+			i := r.Intn(len(live))
+			u.Retract = append(u.Retract, live[i])
+			live = append(live[:i], live[i+1:]...)
+		}
+		txs[t] = u
+	}
+	return db, txs
+}
+
 // Merge returns a new database containing the facts of all inputs.
 func Merge(dbs ...*store.DB) *store.DB {
 	out := store.NewDB()

@@ -1,0 +1,97 @@
+package ldl1
+
+import (
+	"fmt"
+
+	"ldl1/internal/eval"
+	"ldl1/internal/incr"
+	"ldl1/internal/parser"
+	"ldl1/internal/term"
+)
+
+// UpdateResult summarises the net model change of one update transaction:
+// facts added to and removed from the model, EDB and derived together.
+type UpdateResult = incr.Result
+
+// Materialized is an incrementally maintained materialization of an
+// engine's program: Assert and Retract apply EDB update transactions and
+// produce the next consistent model by delta propagation (semi-naive
+// insertion rules, delete-and-rederive for retractions, ≡-class regrouping
+// for grouping heads) instead of a from-scratch fixpoint.  Model returns an
+// immutable snapshot; updates serialize internally, and snapshots taken
+// before an update remain valid and unchanged, so concurrent readers never
+// observe a half-applied transaction.
+type Materialized struct {
+	inner *incr.Materialized
+}
+
+// Materialize evaluates the engine's program once against its current
+// extensional database and returns the incrementally maintained view.
+// Subsequent AddFact calls on the engine do not affect the view; use
+// Assert/Retract on the view instead.
+func (e *Engine) Materialize() (*Materialized, error) {
+	inner, err := incr.New(e.source, e.edb, incr.Options{
+		Workers:  e.cfg.workers,
+		Strategy: e.cfg.strategy,
+		Stats:    e.cfg.stats,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Materialized{inner: inner}, nil
+}
+
+// parseFactList parses LDL1 source text consisting of facts only.
+func parseFactList(src string) ([]*term.Fact, error) {
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*term.Fact, 0, len(p.Rules))
+	for _, r := range p.Rules {
+		if !r.IsFact() {
+			return nil, fmt.Errorf("ldl1: update source contains a rule: %s", r.String())
+		}
+		out = append(out, term.NewFact(r.Head.Pred, r.Head.Args...))
+	}
+	return out, nil
+}
+
+// Assert inserts extensional facts given as source text ("par(a, b). ...")
+// as one transaction and incrementally updates the model.
+func (mv *Materialized) Assert(src string) (UpdateResult, error) {
+	fs, err := parseFactList(src)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	return mv.inner.Apply(incr.Tx{Insert: fs})
+}
+
+// Retract removes extensional facts given as source text as one
+// transaction and incrementally updates the model.  Retracting an absent
+// fact is a no-op.
+func (mv *Materialized) Retract(src string) (UpdateResult, error) {
+	fs, err := parseFactList(src)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	return mv.inner.Apply(incr.Tx{Retract: fs})
+}
+
+// Model returns the current model as an immutable snapshot.
+func (mv *Materialized) Model() *Model {
+	return &Model{db: mv.inner.Snapshot()}
+}
+
+// Query answers a conjunctive query against the current model snapshot.
+func (mv *Materialized) Query(q string) (*Answers, error) {
+	query, err := parser.ParseQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	sols, err := eval.Solve(query.Body, mv.inner.Snapshot())
+	if err != nil {
+		return nil, err
+	}
+	return newAnswers(query, sols), nil
+}

@@ -1,0 +1,66 @@
+package ldl1
+
+import (
+	"testing"
+)
+
+func TestMaterializeAssertRetract(t *testing.T) {
+	eng, err := New(`
+		ancestor(X, Y) <- parent(X, Y).
+		ancestor(X, Y) <- parent(X, Z), ancestor(Z, Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddFacts(`parent(abe, bob). parent(bob, carl).`); err != nil {
+		t.Fatal(err)
+	}
+	mv, err := eng.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap0 := mv.Model()
+
+	res, err := mv.Assert(`parent(carl, dee).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 4 || res.Deleted != 0 {
+		t.Fatalf("Assert result = %+v, want Inserted 4", res)
+	}
+	ans, err := mv.Query("ancestor(abe, dee)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Empty() {
+		t.Fatal("ancestor(abe, dee) not derivable after Assert")
+	}
+
+	res, err = mv.Retract(`parent(abe, bob).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != 4 || res.Inserted != 0 {
+		t.Fatalf("Retract result = %+v, want Deleted 4", res)
+	}
+	ans, err = mv.Query("ancestor(abe, W)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Empty() {
+		t.Fatalf("ancestor(abe, W) after Retract = %v, want none", ans)
+	}
+
+	// Snapshots taken before updates are unaffected.
+	if got, _ := snap0.Contains("ancestor(abe, carl)"); !got {
+		t.Fatal("pre-update snapshot lost ancestor(abe, carl)")
+	}
+	if got, _ := snap0.Contains("parent(carl, dee)"); got {
+		t.Fatal("pre-update snapshot observed a later Assert")
+	}
+
+	// Rules are rejected in update sources.
+	if _, err := mv.Assert(`bad(X) <- parent(X, X).`); err == nil {
+		t.Fatal("Assert of a rule should error")
+	}
+}
