@@ -16,6 +16,7 @@
 //	-strata       print the layering (§3.1)
 //	-explain      with -q: print the adorned and magic-rewritten programs
 //	-stats        print evaluation counters
+//	-timeout d    abort any evaluation that runs longer than d (e.g. 5s)
 //	-compile      print the program after LDL1.5 → LDL1 expansion and exit
 package main
 
@@ -49,6 +50,7 @@ func run() error {
 		stats       = flag.Bool("stats", false, "print evaluation counters")
 		compile     = flag.Bool("compile", false, "print the compiled (core LDL1) program and exit")
 		interactive = flag.Bool("i", false, "interactive query loop after loading files")
+		timeout     = flag.Duration("timeout", 0, "per-evaluation deadline, e.g. 5s (0 = none)")
 	)
 	flag.Parse()
 
@@ -71,6 +73,9 @@ func run() error {
 	var st ldl1.Stats
 	if *stats {
 		opts = append(opts, ldl1.WithStats(&st))
+	}
+	if *timeout > 0 {
+		opts = append(opts, ldl1.WithDeadline(*timeout))
 	}
 
 	eng, err := ldl1.NewFromAST(unit.Program, opts...)

@@ -2,11 +2,16 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"os"
+	"os/signal"
 	"strings"
 
 	"ldl1"
+	"ldl1/internal/lderr"
 )
 
 // repl runs an interactive query loop against the engine.  Lines are
@@ -22,9 +27,46 @@ import (
 //	:strata            print the layering
 //	:help              this text
 //	:quit              leave
+//
+// Ctrl-C cancels the evaluation in flight — the model rolls back to its
+// pre-operation state — and returns to the prompt instead of killing the
+// process.
 func repl(eng *ldl1.Engine, in io.Reader, out io.Writer) error {
-	fmt.Fprintln(out, "LDL1 interactive — :help for commands, :quit to leave")
+	fmt.Fprintln(out, "LDL1 interactive — :help for commands, :quit to leave (Ctrl-C interrupts a running query)")
 	sc := bufio.NewScanner(in)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	defer signal.Stop(sig)
+	// interruptible runs one evaluation under a context that Ctrl-C
+	// cancels.  A signal arriving at the prompt (no evaluation in flight)
+	// is drained first so it cannot cancel the next operation spuriously.
+	interruptible := func(fn func(ctx context.Context) error) error {
+		select {
+		case <-sig:
+		default:
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-sig:
+				cancel()
+			case <-done:
+			}
+		}()
+		return fn(ctx)
+	}
+	report := func(err error) {
+		if errors.Is(err, lderr.Canceled) {
+			fmt.Fprintln(out, "interrupted")
+			return
+		}
+		fmt.Fprintln(out, "error:", err)
+	}
+
 	// The materialized view is built on first assert/retract; afterwards
 	// queries and :model read its incrementally maintained snapshot.
 	var mat *ldl1.Materialized
@@ -42,19 +84,21 @@ func repl(eng *ldl1.Engine, in io.Reader, out io.Writer) error {
 		if !strings.HasSuffix(src, ".") {
 			src += "."
 		}
-		m, err := materialize()
-		if err != nil {
-			fmt.Fprintln(out, "error:", err)
-			return
-		}
 		var res ldl1.UpdateResult
-		if retract {
-			res, err = m.Retract(src)
-		} else {
-			res, err = m.Assert(src)
-		}
+		err := interruptible(func(ctx context.Context) error {
+			m, err := materialize()
+			if err != nil {
+				return err
+			}
+			if retract {
+				res, err = m.RetractCtx(ctx, src)
+			} else {
+				res, err = m.AssertCtx(ctx, src)
+			}
+			return err
+		})
 		if err != nil {
-			fmt.Fprintln(out, "error:", err)
+			report(err)
 			return
 		}
 		fmt.Fprintf(out, "model: +%d -%d facts\n", res.Inserted, res.Deleted)
@@ -79,9 +123,14 @@ func repl(eng *ldl1.Engine, in io.Reader, out io.Writer) error {
 				fmt.Fprintln(out, mat.Model())
 				continue
 			}
-			m, err := eng.Run()
+			var m *ldl1.Model
+			err := interruptible(func(ctx context.Context) error {
+				var err error
+				m, err = eng.RunCtx(ctx)
+				return err
+			})
 			if err != nil {
-				fmt.Fprintln(out, "error:", err)
+				report(err)
 				continue
 			}
 			fmt.Fprintln(out, m)
@@ -108,19 +157,19 @@ func repl(eng *ldl1.Engine, in io.Reader, out io.Writer) error {
 			}
 			fmt.Fprintln(out, why)
 		default:
-			q := strings.TrimSuffix(strings.TrimPrefix(line, "?-"), ".")
-			if mat != nil {
-				ans, err := mat.Query(strings.TrimSpace(q))
-				if err != nil {
-					fmt.Fprintln(out, "error:", err)
-					continue
+			q := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(line, "?-"), "."))
+			var ans *ldl1.Answers
+			err := interruptible(func(ctx context.Context) error {
+				var err error
+				if mat != nil {
+					ans, err = mat.QueryCtx(ctx, q)
+				} else {
+					ans, err = eng.QueryCtx(ctx, q)
 				}
-				fmt.Fprintln(out, ans)
-				continue
-			}
-			ans, err := eng.Query(strings.TrimSpace(q))
+				return err
+			})
 			if err != nil {
-				fmt.Fprintln(out, "error:", err)
+				report(err)
 				continue
 			}
 			fmt.Fprintln(out, ans)

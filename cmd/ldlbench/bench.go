@@ -8,14 +8,19 @@ package main
 // snapshots for cross-revision comparison.
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
+	"ldl1/internal/ast"
 	"ldl1/internal/eval"
 	"ldl1/internal/incr"
+	"ldl1/internal/lderr"
 	"ldl1/internal/model"
 	"ldl1/internal/parser"
 	"ldl1/internal/rewrite"
@@ -60,26 +65,25 @@ type benchReport struct {
 }
 
 // benchEntry names one operation; op returns the evaluation counters of
-// one run (zero for non-evaluating operations).
+// one run (zero for non-evaluating operations).  The context carries the
+// -timeout deadline; a breached deadline aborts the run mid-fixpoint.
 type benchEntry struct {
 	id, name string
-	op       func() (eval.Stats, error)
+	op       func(ctx context.Context) (eval.Stats, error)
 }
 
-func evalOp(src string, db *store.DB, strat eval.Strategy) func() (eval.Stats, error) {
-	p := parser.MustParseProgram(src)
-	return func() (eval.Stats, error) {
+func evalOp(p *ast.Program, db *store.DB, strat eval.Strategy) func(context.Context) (eval.Stats, error) {
+	return func(ctx context.Context) (eval.Stats, error) {
 		var st eval.Stats
-		_, err := eval.Eval(p, db, eval.Options{Strategy: strat, Stats: &st})
+		_, err := eval.Eval(p, db, eval.Options{Strategy: strat, Stats: &st, Ctx: ctx})
 		return st, err
 	}
 }
 
 // incrOp replays an update stream through a materialized view: one initial
 // evaluation, then one incremental Apply per transaction.
-func incrOp(src string, gen func() (*store.DB, []workload.Update)) func() (eval.Stats, error) {
-	p := parser.MustParseProgram(src)
-	return func() (eval.Stats, error) {
+func incrOp(p *ast.Program, gen func() (*store.DB, []workload.Update)) func(context.Context) (eval.Stats, error) {
+	return func(ctx context.Context) (eval.Stats, error) {
 		var st eval.Stats
 		initial, txs := gen()
 		m, err := incr.New(p, initial, incr.Options{Stats: &st})
@@ -87,7 +91,7 @@ func incrOp(src string, gen func() (*store.DB, []workload.Update)) func() (eval.
 			return st, err
 		}
 		for _, u := range txs {
-			if _, err := m.Apply(incr.Tx{Insert: u.Insert, Retract: u.Retract}); err != nil {
+			if _, err := m.ApplyCtx(ctx, incr.Tx{Insert: u.Insert, Retract: u.Retract}); err != nil {
 				return st, err
 			}
 		}
@@ -98,12 +102,11 @@ func incrOp(src string, gen func() (*store.DB, []workload.Update)) func() (eval.
 // recomputeOp replays the same stream by full recomputation: the EDB is
 // updated in place and the whole fixpoint re-evaluated after every
 // transaction — the baseline the incremental entries are compared against.
-func recomputeOp(src string, gen func() (*store.DB, []workload.Update)) func() (eval.Stats, error) {
-	p := parser.MustParseProgram(src)
-	return func() (eval.Stats, error) {
+func recomputeOp(p *ast.Program, gen func() (*store.DB, []workload.Update)) func(context.Context) (eval.Stats, error) {
+	return func(ctx context.Context) (eval.Stats, error) {
 		var st eval.Stats
 		db, txs := gen()
-		if _, err := eval.Eval(p, db, eval.Options{Stats: &st}); err != nil {
+		if _, err := eval.Eval(p, db, eval.Options{Stats: &st, Ctx: ctx}); err != nil {
 			return st, err
 		}
 		for _, u := range txs {
@@ -113,7 +116,7 @@ func recomputeOp(src string, gen func() (*store.DB, []workload.Update)) func() (
 			for _, f := range u.Retract {
 				db.Delete(f)
 			}
-			if _, err := eval.Eval(p, db, eval.Options{Stats: &st}); err != nil {
+			if _, err := eval.Eval(p, db, eval.Options{Stats: &st, Ctx: ctx}); err != nil {
 				return st, err
 			}
 		}
@@ -128,59 +131,87 @@ const churnRules = `
 	supplies(S, <P>) <- sp(S, P).
 `
 
-func benchEntries() []benchEntry {
+func benchEntries() ([]benchEntry, error) {
+	// parse records the first failure instead of panicking, so a malformed
+	// setup program fails the whole run with one error line.
+	var setupErr error
+	parse := func(src string) *ast.Program {
+		p, err := parser.ParseProgram(src)
+		if err != nil {
+			if setupErr == nil {
+				setupErr = err
+			}
+			return ast.NewProgram()
+		}
+		return p
+	}
 	excl := ancestorRules + `
 		excl_ancestor(X, Y, Z) <- ancestor(X, Y), not ancestor(X, Z), person(Z).
 	`
-	e7prog := parser.MustParseProgram(`
+	exclProg := parse(excl)
+	e7prog := parse(`
 		q(X) <- p(X), h(X).
 		p(<X>) <- r(X).
 		r(1).
 		h({1}).
 	`)
 	e7model := store.NewDB()
-	for _, r := range parser.MustParseProgram("r(1). h({1}). p({1}). q({1}).").Rules {
+	for _, r := range parse("r(1). h({1}). p({1}). q({1}).").Rules {
 		e7model.Insert(term.NewFact(r.Head.Pred, r.Head.Args...))
 	}
-	e10prog := parser.MustParseProgram(ancestorRules)
+	e10prog := parse(ancestorRules)
 	e10db := workload.ParentChain(32)
-	e11pos, err := rewrite.EliminateNegation(parser.MustParseProgram(excl))
-	if err != nil {
-		panic(err)
+	if setupErr != nil {
+		return nil, setupErr
 	}
-	e12prog, err := rewrite.Rewrite(parser.MustParseProgram(`
+	e11pos, err := rewrite.EliminateNegation(exclProg)
+	if err != nil {
+		return nil, err
+	}
+	e12prog, err := rewrite.Rewrite(parse(`
 		pa({{1, 2}, {3}, {4, 5}}). pa({{6}, {7, 8}}).
 		oka(X) <- pa(<<X>>).
 	`))
 	if err != nil {
-		panic(err)
+		return nil, err
+	}
+	if setupErr != nil {
+		return nil, setupErr
 	}
 
-	return []benchEntry{
+	churnProg := parse(churnRules)
+	bookProg := parse(`book_deal({X, Y, Z}) <- book(X, Px), book(Y, Py), book(Z, Pz), Px + Py + Pz < 100.`)
+	suppliesProg := parse(`supplies(S, <P>) <- sp(S, P).`)
+	partCostProg := parse(partCostRules)
+	triangleProg := parse(`triangle(X, Y, Z) <- e(X, Y), e(Y, Z), e(X, Z).`)
+	wideProg := parse(`sel(G, P) <- dim(G, T), wide(G, T, P, W).`)
+	if setupErr != nil {
+		return nil, setupErr
+	}
+
+	entries := []benchEntry{
 		{"e1", "ancestor-naive-chain-64",
-			evalOp(ancestorRules, workload.ParentChain(64), eval.Naive)},
+			evalOp(e10prog, workload.ParentChain(64), eval.Naive)},
 		{"e1", "ancestor-seminaive-chain-128",
-			evalOp(ancestorRules, workload.ParentChain(128), eval.SemiNaive)},
+			evalOp(e10prog, workload.ParentChain(128), eval.SemiNaive)},
 		{"e2", "excl-ancestor-chain-32",
-			evalOp(excl, workload.Persons(workload.ParentChain(32), 32), eval.SemiNaive)},
+			evalOp(exclProg, workload.Persons(workload.ParentChain(32), 32), eval.SemiNaive)},
 		{"e4", "book-deal-books-16",
-			evalOp(`book_deal({X, Y, Z}) <- book(X, Px), book(Y, Py), book(Z, Pz), Px + Py + Pz < 100.`,
-				workload.Books(16, 7), eval.SemiNaive)},
+			evalOp(bookProg, workload.Books(16, 7), eval.SemiNaive)},
 		{"e5", "grouping-suppliers-256",
-			evalOp(`supplies(S, <P>) <- sp(S, P).`,
-				workload.SupplierParts(256, 8, 11), eval.SemiNaive)},
+			evalOp(suppliesProg, workload.SupplierParts(256, 8, 11), eval.SemiNaive)},
 		{"e6", "part-cost-depth2-fanout2",
-			evalOp(partCostRules, workload.BOM(2, 2), eval.SemiNaive)},
-		{"e7", "model-check", func() (eval.Stats, error) {
+			evalOp(partCostProg, workload.BOM(2, 2), eval.SemiNaive)},
+		{"e7", "model-check", func(ctx context.Context) (eval.Stats, error) {
 			ok, err := model.IsModel(e7prog, e7model)
 			if err == nil && !ok {
 				err = fmt.Errorf("IsModel = false")
 			}
 			return eval.Stats{}, err
 		}},
-		{"e10", "eval-and-verify-chain-32", func() (eval.Stats, error) {
+		{"e10", "eval-and-verify-chain-32", func(ctx context.Context) (eval.Stats, error) {
 			var st eval.Stats
-			m, err := eval.Eval(e10prog, e10db, eval.Options{Stats: &st})
+			m, err := eval.Eval(e10prog, e10db, eval.Options{Stats: &st, Ctx: ctx})
 			if err != nil {
 				return st, err
 			}
@@ -191,72 +222,66 @@ func benchEntries() []benchEntry {
 			return st, err
 		}},
 		{"e11", "neg-elim-original",
-			evalOp(excl, workload.Persons(workload.ParentChain(16), 16), eval.SemiNaive)},
-		{"e11", "neg-elim-positive", func() (eval.Stats, error) {
-			var st eval.Stats
-			_, err := eval.Eval(e11pos, workload.Persons(workload.ParentChain(16), 16),
-				eval.Options{Stats: &st})
-			return st, err
-		}},
-		{"e12", "body-patterns", func() (eval.Stats, error) {
-			var st eval.Stats
-			_, err := eval.Eval(e12prog, store.NewDB(), eval.Options{Stats: &st})
-			return st, err
-		}},
+			evalOp(exclProg, workload.Persons(workload.ParentChain(16), 16), eval.SemiNaive)},
+		{"e11", "neg-elim-positive",
+			evalOp(e11pos, workload.Persons(workload.ParentChain(16), 16), eval.SemiNaive)},
+		{"e12", "body-patterns",
+			evalOp(e12prog, store.NewDB(), eval.SemiNaive)},
 		// Join-heavy workloads exercising composite (multi-bound-column)
 		// indexes: the triangle rule's third literal probes e on both
 		// columns; the wide-EDB join probes wide on its two leading
 		// columns, only the pair being selective.
 		{"j1", "triangle-join-n96",
-			evalOp(`triangle(X, Y, Z) <- e(X, Y), e(Y, Z), e(X, Z).`,
-				workload.Graph(96, 4, 13), eval.SemiNaive)},
+			evalOp(triangleProg, workload.Graph(96, 4, 13), eval.SemiNaive)},
 		{"j2", "wide-selective-join-4096",
-			evalOp(`sel(G, P) <- dim(G, T), wide(G, T, P, W).`,
-				workload.WideSelective(4096, 48, 8, 17), eval.SemiNaive)},
+			evalOp(wideProg, workload.WideSelective(4096, 48, 8, 17), eval.SemiNaive)},
 		// Update-stream workloads (v3): each op replays a transaction
 		// stream, incrementally (materialize once, Apply per tx) versus by
 		// full recomputation after every tx.  Paired entries share an id so
 		// the speedup is the ratio of their ns_per_op.
 		{"u1", "update-trickle-incr-chain128",
-			incrOp(ancestorRules, func() (*store.DB, []workload.Update) {
+			incrOp(e10prog, func() (*store.DB, []workload.Update) {
 				return workload.TrickleInserts(128, 32)
 			})},
 		{"u1", "update-trickle-recompute-chain128",
-			recomputeOp(ancestorRules, func() (*store.DB, []workload.Update) {
+			recomputeOp(e10prog, func() (*store.DB, []workload.Update) {
 				return workload.TrickleInserts(128, 32)
 			})},
 		{"u1", "update-trickle-incr-chain256",
-			incrOp(ancestorRules, func() (*store.DB, []workload.Update) {
+			incrOp(e10prog, func() (*store.DB, []workload.Update) {
 				return workload.TrickleInserts(256, 32)
 			})},
 		{"u1", "update-trickle-recompute-chain256",
-			recomputeOp(ancestorRules, func() (*store.DB, []workload.Update) {
+			recomputeOp(e10prog, func() (*store.DB, []workload.Update) {
 				return workload.TrickleInserts(256, 32)
 			})},
 		{"u2", "update-mixed-incr-chain128",
-			incrOp(ancestorRules, func() (*store.DB, []workload.Update) {
+			incrOp(e10prog, func() (*store.DB, []workload.Update) {
 				return workload.MixedUpdates(128, 32, 23)
 			})},
 		{"u2", "update-mixed-recompute-chain128",
-			recomputeOp(ancestorRules, func() (*store.DB, []workload.Update) {
+			recomputeOp(e10prog, func() (*store.DB, []workload.Update) {
 				return workload.MixedUpdates(128, 32, 23)
 			})},
 		{"u3", "update-churn-incr-sp64x8",
-			incrOp(churnRules, func() (*store.DB, []workload.Update) {
+			incrOp(churnProg, func() (*store.DB, []workload.Update) {
 				return workload.ChurnSupplierParts(64, 8, 32, 29)
 			})},
 		{"u3", "update-churn-recompute-sp64x8",
-			recomputeOp(churnRules, func() (*store.DB, []workload.Update) {
+			recomputeOp(churnProg, func() (*store.DB, []workload.Update) {
 				return workload.ChurnSupplierParts(64, 8, 32, 29)
 			})},
 	}
+	return entries, nil
 }
 
 // runBenchJSON times every entry and writes the report to path. Each
 // entry is timed reps times and the fastest repetition is reported:
 // evaluation is deterministic, so the minimum is the run least disturbed
-// by scheduler noise (which only ever adds time).
-func runBenchJSON(path string, reps int) error {
+// by scheduler noise (which only ever adds time).  timeout > 0 bounds
+// every operation run; an entry that exceeds it is reported as skipped and
+// the remaining entries still execute.
+func runBenchJSON(path string, reps int, timeout time.Duration) error {
 	// Fail on an unwritable path now, not after minutes of timing.
 	out, err := os.Create(path)
 	if err != nil {
@@ -272,24 +297,50 @@ func runBenchJSON(path string, reps int) error {
 	if reps < 1 {
 		reps = 1
 	}
-	for _, e := range benchEntries() {
-		st, err := e.op() // warm-up; also yields the per-op counters
+	runOp := func(e benchEntry) (eval.Stats, error) {
+		ctx := context.Background()
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		return e.op(ctx)
+	}
+	entries, err := benchEntries()
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		st, err := runOp(e) // warm-up; also yields the per-op counters
+		if errors.Is(err, lderr.DeadlineExceeded) {
+			fmt.Printf("%-4s %-30s SKIPPED: exceeded -timeout %v\n", e.id, e.name, timeout)
+			continue
+		}
 		if err != nil {
 			return fmt.Errorf("%s/%s: %w", e.id, e.name, err)
 		}
 		var r testing.BenchmarkResult
-		for rep := 0; rep < reps; rep++ {
+		var opErr error
+		for rep := 0; rep < reps && opErr == nil; rep++ {
 			got := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					if _, err := e.op(); err != nil {
-						b.Fatal(err)
+					if _, err := runOp(e); err != nil {
+						opErr = err
+						return
 					}
 				}
 			})
 			if rep == 0 || got.NsPerOp() < r.NsPerOp() {
 				r = got
 			}
+		}
+		if errors.Is(opErr, lderr.DeadlineExceeded) {
+			fmt.Printf("%-4s %-30s SKIPPED: exceeded -timeout %v\n", e.id, e.name, timeout)
+			continue
+		}
+		if opErr != nil {
+			return fmt.Errorf("%s/%s: %w", e.id, e.name, opErr)
 		}
 		row := benchResult{
 			ID:                  e.id,

@@ -194,15 +194,21 @@ func runE6() error {
 }
 
 func runE7() error {
-	p := parser.MustParseProgram(`
+	p, err := parser.ParseProgram(`
 		q(X) <- p(X), h(X).
 		p(<X>) <- r(X).
 		r(1).
 		h({1}).
 	`)
+	if err != nil {
+		return err
+	}
 	check := func(name, facts string, want bool) error {
 		m := store.NewDB()
-		fp := parser.MustParseProgram(facts)
+		fp, err := parser.ParseProgram(facts)
+		if err != nil {
+			return err
+		}
 		for _, r := range fp.Rules {
 			m.Insert(ldl1.NewFact(r.Head.Pred, r.Head.Args...))
 		}
@@ -228,10 +234,21 @@ func runE7() error {
 
 func runE8() error {
 	// Intersection of models need not be a model.
-	p := parser.MustParseProgram("p(<X>) <- q(X).")
+	p, err := parser.ParseProgram("p(<X>) <- q(X).")
+	if err != nil {
+		return err
+	}
+	var mkErr error
 	mk := func(facts string) *store.DB {
 		m := store.NewDB()
-		for _, r := range parser.MustParseProgram(facts).Rules {
+		fp, err := parser.ParseProgram(facts)
+		if err != nil {
+			if mkErr == nil {
+				mkErr = err
+			}
+			return m
+		}
+		for _, r := range fp.Rules {
 			m.Insert(ldl1.NewFact(r.Head.Pred, r.Head.Args...))
 		}
 		return m
@@ -239,6 +256,9 @@ func runE8() error {
 	a := mk("q(1). q(2). p({1, 2}).")
 	b := mk("q(2). q(3). p({2, 3}).")
 	inter := mk("q(2).")
+	if mkErr != nil {
+		return mkErr
+	}
 	for _, c := range []struct {
 		name string
 		m    *store.DB
@@ -254,14 +274,20 @@ func runE8() error {
 		fmt.Printf("interpretation %-4s is model: %-5v (paper: %v)\n", c.name, got, c.want)
 	}
 	// Two incomparable minimal models (§2.3).
-	p2 := parser.MustParseProgram(`
+	p2, err := parser.ParseProgram(`
 		p(<X>) <- q(X).
 		q(Y) <- w(S, Y), p(S).
 		q(1).
 		w({1}, 7).
 	`)
+	if err != nil {
+		return err
+	}
 	m1 := mk("q(1). w({1}, 7). q(2). p({1, 2}).")
 	m2 := mk("q(1). w({1}, 7). q(3). p({1, 3}).")
+	if mkErr != nil {
+		return mkErr
+	}
 	for _, c := range []struct {
 		name string
 		m    *store.DB
@@ -282,20 +308,34 @@ func runE8() error {
 }
 
 func runE9() error {
-	p := parser.MustParseProgram(`
+	p, err := parser.ParseProgram(`
 		q(1).
 		p(<X>) <- q(X).
 		q(2) <- p({1, 2}).
 	`)
+	if err != nil {
+		return err
+	}
+	var mkErr error
 	mk := func(facts string) *store.DB {
 		m := store.NewDB()
-		for _, r := range parser.MustParseProgram(facts).Rules {
+		fp, err := parser.ParseProgram(facts)
+		if err != nil {
+			if mkErr == nil {
+				mkErr = err
+			}
+			return m
+		}
+		for _, r := range fp.Rules {
 			m.Insert(ldl1.NewFact(r.Head.Pred, r.Head.Args...))
 		}
 		return m
 	}
 	m1 := mk("q(1). q(2). p({1, 2}).")
 	m2 := mk("q(1). p({1}).")
+	if mkErr != nil {
+		return mkErr
+	}
 	ok1, _ := model.IsModel(p, m1)
 	ok2, _ := model.IsModel(p, m2)
 	below := model.StrictlyBelow(m2, m1)
@@ -314,7 +354,10 @@ func runE10() error {
 		{"nested sets", "q(1). q(2). p(<X>) <- q(X). w(<S>) <- p(S)."},
 	}
 	for _, c := range srcs {
-		p := parser.MustParseProgram(c.src)
+		p, err := parser.ParseProgram(c.src)
+		if err != nil {
+			return err
+		}
 		a, _, _, err := evalWith(c.src, store.NewDB(), eval.Naive)
 		if err != nil {
 			return err
@@ -343,7 +386,10 @@ func runE11() error {
 	fmt.Printf("%6s %14s %16s %12s %12s %8s\n", "n", "orig-time", "positive-time", "orig-facts", "pos-facts", "equal")
 	for _, n := range []int{8, 16, 32} {
 		db := workload.Persons(workload.ParentChain(n), n)
-		p := parser.MustParseProgram(rules)
+		p, err := parser.ParseProgram(rules)
+		if err != nil {
+			return err
+		}
 		pos, err := rewrite.EliminateNegation(p)
 		if err != nil {
 			return err
@@ -389,7 +435,10 @@ func runE12() error {
 		{"shaped f(K,<V>)", "p({f(a, {1, 2}), f(b, {3})}). kv(K, V) <- p(<f(K, <V>)>).", "kv"},
 	}
 	for _, c := range cases {
-		p := parser.MustParseProgram(c.src)
+		p, err := parser.ParseProgram(c.src)
+		if err != nil {
+			return err
+		}
 		rp, err := rewrite.Rewrite(p)
 		if err != nil {
 			return err
@@ -414,7 +463,10 @@ func runE13() error {
 	fmt.Printf("%-20s %8s %8s %8s %10s\n", "head form", "base", "rules", "out", "time")
 	for _, h := range heads {
 		db := workload.TeacherSchedule(8, 6, 4, 3)
-		p := parser.MustParseProgram(h.rule)
+		p, err := parser.ParseProgram(h.rule)
+		if err != nil {
+			return err
+		}
 		rp, err := rewrite.Rewrite(p)
 		if err != nil {
 			return err
@@ -468,7 +520,10 @@ func runE15() error {
 		hasdesc(X) <- a(X, Z).
 		young(X, <Y>) <- sg(X, Y), not hasdesc(X).
 	`
-	p := parser.MustParseProgram(rules)
+	p, err := parser.ParseProgram(rules)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("%10s %8s %14s %12s %14s %10s %10s %10s %9s\n",
 		"families", "facts", "magic-derived", "sup-derived", "base-derived", "magic-t", "sup-t", "base-t", "speedup")
 	for _, fams := range []int{4, 16, 64} {
@@ -530,7 +585,10 @@ func runE16() error {
 	} {
 		in := db.Clone()
 		in.UseIndexes = c.indexes
-		p := parser.MustParseProgram(ancestorRules)
+		p, err := parser.ParseProgram(ancestorRules)
+		if err != nil {
+			return err
+		}
 		var st eval.Stats
 		d, err := timed(func() error {
 			_, err := eval.Eval(p, in, eval.Options{Strategy: c.strat, Stats: &st})

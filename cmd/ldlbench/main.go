@@ -45,15 +45,16 @@ var experiments = []experiment{
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (e1..e16); empty runs all")
-		list  = flag.Bool("list", false, "list experiments")
-		bench = flag.String("bench", "", "time the perf experiments and write a JSON report to this file")
-		reps  = flag.Int("reps", 3, "with -bench: timing repetitions per entry; the fastest is reported")
+		exp     = flag.String("exp", "", "experiment id (e1..e16); empty runs all")
+		list    = flag.Bool("list", false, "list experiments")
+		bench   = flag.String("bench", "", "time the perf experiments and write a JSON report to this file")
+		reps    = flag.Int("reps", 3, "with -bench: timing repetitions per entry; the fastest is reported")
+		timeout = flag.Duration("timeout", 0, "with -bench: per-operation deadline; entries exceeding it are skipped (0 = none)")
 	)
 	flag.Parse()
 
 	if *bench != "" {
-		if err := runBenchJSON(*bench, *reps); err != nil {
+		if err := runBenchJSON(*bench, *reps, *timeout); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
 		}

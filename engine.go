@@ -1,8 +1,10 @@
 package ldl1
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"ldl1/internal/ast"
 	"ldl1/internal/eval"
@@ -41,6 +43,8 @@ type config struct {
 	noRewrite     bool
 	limit         int
 	workers       int
+	deadline      time.Duration
+	memBudget     int64
 }
 
 // WithStrategy selects naive or semi-naive evaluation.
@@ -73,6 +77,21 @@ func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 // error beyond it.  A termination guard for programs whose function symbols
 // could generate unbounded terms.
 func WithLimit(maxDerived int) Option { return func(c *config) { c.limit = maxDerived } }
+
+// WithDeadline bounds the wall-clock time of every Run, Query and
+// materialized-view operation.  A breached deadline aborts the fixpoint at
+// the next evaluation round with an error satisfying both
+// errors.Is(err, lderr.DeadlineExceeded) and
+// errors.Is(err, context.DeadlineExceeded); the engine's state is unchanged.
+// The deadline composes with an explicit context passed to the ...Ctx
+// variants — whichever expires first wins.
+func WithDeadline(d time.Duration) Option { return func(c *config) { c.deadline = d } }
+
+// WithMemBudget bounds the approximate bytes of derived facts retained by
+// one evaluation; beyond it evaluation aborts with *lderr.MemBudgetError.
+// The estimate is deterministic (a structural walk of each derived fact),
+// so a breaching program fails identically across runs and worker counts.
+func WithMemBudget(bytes int64) Option { return func(c *config) { c.memBudget = bytes } }
 
 // WithoutIndexes disables per-column hash indexes (for ablation).
 func WithoutIndexes() Option { return func(c *config) { c.noIndexes = true } }
@@ -175,12 +194,46 @@ func (e *Engine) Strata() map[string]int {
 // which case its minimal model is unique (§3, corollary to Theorem 1).
 func (e *Engine) IsPositive() bool { return e.source.IsPositive() }
 
+// evalOpts assembles the evaluation options of one run under ctx.
+func (e *Engine) evalOpts(ctx context.Context) eval.Options {
+	return eval.Options{
+		Strategy:   e.cfg.strategy,
+		Stats:      e.cfg.stats,
+		MaxDerived: e.cfg.limit,
+		Workers:    e.cfg.workers,
+		MemBudget:  e.cfg.memBudget,
+		Ctx:        ctx,
+	}
+}
+
+// withDeadline layers the configured WithDeadline onto ctx.  The returned
+// cancel func must always be called.
+func (e *Engine) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if e.cfg.deadline > 0 {
+		return context.WithTimeout(ctx, e.cfg.deadline)
+	}
+	return ctx, func() {}
+}
+
 // Run computes the standard minimal model M_n of the program with respect
 // to the extensional database (Theorem 1) and returns it.  The model is
 // memoized until facts change.
 func (e *Engine) Run() (*Model, error) {
+	return e.RunCtx(context.Background())
+}
+
+// RunCtx is Run under a context: a canceled context or expired deadline
+// aborts the fixpoint at the next evaluation round with lderr.Canceled or
+// lderr.DeadlineExceeded, the extensional database is unchanged, and no
+// partial model is memoized.
+func (e *Engine) RunCtx(ctx context.Context) (*Model, error) {
 	if e.model == nil {
-		db, err := eval.Eval(e.source, e.edb, eval.Options{Strategy: e.cfg.strategy, Stats: e.cfg.stats, MaxDerived: e.cfg.limit, Workers: e.cfg.workers})
+		ctx, cancel := e.withDeadline(ctx)
+		defer cancel()
+		db, err := eval.Eval(e.source, e.edb, e.evalOpts(ctx))
 		if err != nil {
 			return nil, err
 		}
@@ -194,6 +247,12 @@ func (e *Engine) Run() (*Model, error) {
 // predicate, the Generalized Magic Sets pipeline of §6 is used; otherwise
 // the full model is computed and filtered.
 func (e *Engine) Query(q string) (*Answers, error) {
+	return e.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx is Query under a context; cancellation semantics are those of
+// RunCtx, for the magic-sets pipeline as well as the full-model path.
+func (e *Engine) QueryCtx(ctx context.Context, q string) (*Answers, error) {
 	query, err := parser.ParseQuery(q)
 	if err != nil {
 		return nil, err
@@ -203,17 +262,21 @@ func (e *Engine) Query(q string) (*Answers, error) {
 		if e.cfg.supplementary {
 			variant = magic.Supplementary
 		}
-		res, err := magic.AnswerVariant(e.source, e.edb, query, eval.Options{Strategy: e.cfg.strategy, Stats: e.cfg.stats}, variant)
+		ctx, cancel := e.withDeadline(ctx)
+		defer cancel()
+		res, err := magic.AnswerVariant(e.source, e.edb, query, e.evalOpts(ctx), variant)
 		if err != nil {
 			return nil, err
 		}
 		return newAnswers(query, res.Solutions), nil
 	}
-	m, err := e.Run()
+	m, err := e.RunCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
-	sols, err := eval.Solve(query.Body, m.db)
+	ctx, cancel := e.withDeadline(ctx)
+	defer cancel()
+	sols, err := eval.SolveCtx(ctx, query.Body, m.db)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,38 @@
+package ldl1
+
+import "ldl1/internal/lderr"
+
+// The error taxonomy is defined in internal/lderr and re-exported here so
+// callers can match failures by type (errors.As) or sentinel (errors.Is)
+// without reaching into internal packages.
+
+// ParseError reports a syntax error with its source position.
+type ParseError = lderr.ParseError
+
+// LimitError reports that an evaluation or transaction derived more facts
+// than the bound set with WithLimit or incremental Options.MaxDerived.
+type LimitError = lderr.LimitError
+
+// MemBudgetError reports that derived facts exceeded the approximate byte
+// budget set with WithMemBudget.
+type MemBudgetError = lderr.MemBudgetError
+
+// InstantiationError reports a built-in called with unbound arguments it
+// needs ground; Builtin names the predicate, Literal the offending call.
+// It matches ErrInstantiation via errors.Is.
+type InstantiationError = lderr.InstantiationError
+
+var (
+	// ErrCanceled is returned when a context passed to a ...Ctx method is
+	// canceled mid-evaluation.  It unwraps to context.Canceled, so either
+	// sentinel works with errors.Is.
+	ErrCanceled = lderr.Canceled
+
+	// ErrDeadlineExceeded is returned when a WithDeadline budget or a
+	// context deadline expires mid-evaluation.  It unwraps to
+	// context.DeadlineExceeded.
+	ErrDeadlineExceeded = lderr.DeadlineExceeded
+
+	// ErrInstantiation is the sentinel wrapped by every InstantiationError.
+	ErrInstantiation = lderr.ErrInstantiation
+)

@@ -13,13 +13,21 @@ import (
 	"fmt"
 
 	"ldl1/internal/ast"
+	"ldl1/internal/lderr"
 	"ldl1/internal/term"
 	"ldl1/internal/unify"
 )
 
-// ErrInstantiation reports that a built-in was invoked with too few bound
-// arguments for any of its modes.
-var ErrInstantiation = errors.New("insufficiently instantiated built-in call")
+// ErrInstantiation is the sentinel every instantiation failure unwraps to;
+// it is lderr.ErrInstantiation, so errors.Is works against either name.
+// The errors themselves are typed *lderr.InstantiationError values naming
+// the offending built-in and literal.
+var ErrInstantiation = lderr.ErrInstantiation
+
+// instErr builds the typed instantiation error for a literal.
+func instErr(l ast.Literal) error {
+	return &lderr.InstantiationError{Builtin: l.Pred, Literal: l.String()}
+}
 
 // maxEnumerate caps the size of sets that union/partition will enumerate
 // splits of, to keep the exponential generator modes from running away.
@@ -134,7 +142,7 @@ func evalEq(l ast.Literal, b *unify.Bindings, yield func() error) error {
 		}
 		return matchYield(rhs, lv, b, yield)
 	}
-	return fmt.Errorf("%w: %s with both sides non-ground", ErrInstantiation, l)
+	return instErr(l)
 }
 
 func matchYield(pattern term.Term, value term.Term, b *unify.Bindings, yield func() error) error {
@@ -154,7 +162,7 @@ func evalNeq(l ast.Literal, b *unify.Bindings, yield func() error) error {
 	lv, err := unify.Apply(l.Args[0], b)
 	if err != nil {
 		if errors.Is(err, unify.ErrUnbound) {
-			return fmt.Errorf("%w: %s", ErrInstantiation, l)
+			return instErr(l)
 		}
 		// Outside U: /= is true (§2.2).
 		return yield()
@@ -162,7 +170,7 @@ func evalNeq(l ast.Literal, b *unify.Bindings, yield func() error) error {
 	rv, err := unify.Apply(l.Args[1], b)
 	if err != nil {
 		if errors.Is(err, unify.ErrUnbound) {
-			return fmt.Errorf("%w: %s", ErrInstantiation, l)
+			return instErr(l)
 		}
 		return yield()
 	}
@@ -179,14 +187,14 @@ func evalCompare(l ast.Literal, b *unify.Bindings, yield func() error) error {
 	lv, err := unify.Apply(l.Args[0], b)
 	if err != nil {
 		if errors.Is(err, unify.ErrUnbound) {
-			return fmt.Errorf("%w: %s", ErrInstantiation, l)
+			return instErr(l)
 		}
 		return nil
 	}
 	rv, err := unify.Apply(l.Args[1], b)
 	if err != nil {
 		if errors.Is(err, unify.ErrUnbound) {
-			return fmt.Errorf("%w: %s", ErrInstantiation, l)
+			return instErr(l)
 		}
 		return nil
 	}
@@ -216,7 +224,7 @@ func evalSet(l ast.Literal, b *unify.Bindings, yield func() error) error {
 	v, err := unify.Apply(l.Args[0], b)
 	if err != nil {
 		if errors.Is(err, unify.ErrUnbound) {
-			return fmt.Errorf("%w: %s", ErrInstantiation, l)
+			return instErr(l)
 		}
 		return nil
 	}
@@ -232,7 +240,7 @@ func evalMember(l ast.Literal, b *unify.Bindings, yield func() error) error {
 	}
 	sv := unify.ApplyPartial(l.Args[1], b)
 	if !term.IsGround(sv) {
-		return fmt.Errorf("%w: member with unbound set argument: %s", ErrInstantiation, l)
+		return instErr(l)
 	}
 	sval, err := unify.Apply(sv, b)
 	if err != nil {
@@ -325,7 +333,7 @@ func evalUnion(l ast.Literal, b *unify.Bindings, yield func() error) error {
 			return nil
 		})
 	}
-	return fmt.Errorf("%w: %s", ErrInstantiation, l)
+	return instErr(l)
 }
 
 // enumSubsets enumerates every subset of s.
@@ -441,5 +449,5 @@ func evalPartition(l ast.Literal, b *unify.Bindings, yield func() error) error {
 		}
 		return nil
 	}
-	return fmt.Errorf("%w: %s", ErrInstantiation, l)
+	return instErr(l)
 }

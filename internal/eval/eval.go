@@ -1,12 +1,15 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"ldl1/internal/ast"
 	"ldl1/internal/builtin"
 	"ldl1/internal/layering"
+	"ldl1/internal/lderr"
 	"ldl1/internal/store"
 	"ldl1/internal/term"
 	"ldl1/internal/unify"
@@ -74,6 +77,18 @@ func (s *Stats) Merge(other *Stats) {
 type Options struct {
 	Strategy Strategy
 	Stats    *Stats
+	// Ctx, when non-nil, is checked at every fixpoint round boundary and
+	// polled (cheaply, every few hundred firings) inside long joins: a
+	// canceled context aborts evaluation promptly with lderr.Canceled (or
+	// lderr.DeadlineExceeded after a deadline).  The abort is clean — the
+	// input database of Eval is never mutated, and EvalGroups callers
+	// discard the partially evaluated working database on error.
+	Ctx context.Context
+	// MemBudget, when positive, bounds the approximate bytes retained by
+	// DERIVED facts (the input database is free) and aborts evaluation
+	// with lderr.MemBudgetError beyond it — a resource guard complementing
+	// MaxDerived for programs that derive few but enormous terms.
+	MemBudget int64
 	// Provenance, when non-nil, records a Derivation for every fact the
 	// evaluation adds (including program facts), enabling Explain.
 	Provenance *Provenance
@@ -93,14 +108,9 @@ type Options struct {
 	Workers int
 }
 
-// LimitError reports that evaluation exceeded Options.MaxDerived.
-type LimitError struct {
-	Limit int
-}
-
-func (e *LimitError) Error() string {
-	return fmt.Sprintf("eval: derivation limit of %d facts exceeded; the program may not terminate bottom-up", e.Limit)
-}
+// LimitError reports that evaluation exceeded Options.MaxDerived.  It is
+// an alias of lderr.LimitError, the engine-wide error taxonomy type.
+type LimitError = lderr.LimitError
 
 // Eval computes the standard minimal model M_n of the admissible program P
 // with respect to the U-facts in edb (Theorem 1): facts are added to a copy
@@ -145,8 +155,15 @@ func EvalGroups(groups [][]ast.Rule, db *store.DB, opts Options) error {
 	if opts.Provenance != nil {
 		workers = 1
 	}
-	ex := &exec{db: db, stats: opts.Stats, prov: opts.Provenance, deltaSlot: -1, maxDerived: opts.MaxDerived, workers: workers}
+	ex := &exec{
+		db: db, stats: opts.Stats, prov: opts.Provenance, deltaSlot: -1,
+		maxDerived: opts.MaxDerived, memBudget: opts.MemBudget,
+		ctx: opts.Ctx, breach: new(atomic.Bool), workers: workers,
+	}
 	for _, rules := range groups {
+		if err := ex.checkCtx(); err != nil {
+			return err
+		}
 		if err := ex.evalLayer(rules, opts.Strategy); err != nil {
 			ex.flushAccessStats()
 			return err
@@ -227,6 +244,23 @@ type exec struct {
 	// derivation limit bookkeeping.
 	maxDerived int
 	derived    int
+	// memory budget bookkeeping: approximate bytes of derived facts.
+	memBudget int64
+	memUsed   int64
+	// ctx, when non-nil, is checked at round boundaries and polled inside
+	// joins; see Options.Ctx.
+	ctx   context.Context
+	polls uint
+	// breach is shared between the merge thread and parallel workers: set
+	// once a MaxDerived breach is certain, it lets in-flight workers stop
+	// enumerating early.  It never changes the outcome — the flag is only
+	// raised when the exact post-merge count is guaranteed past the limit.
+	breach *atomic.Bool
+	// roundBase is, in a parallel worker, the exact derived count at the
+	// start of the round (worker-local facts are distinct and absent from
+	// the shared database, so roundBase + locally-new > maxDerived proves
+	// a breach regardless of cross-worker duplicates).
+	roundBase int
 	// workers > 1 enables parallel rounds.
 	workers int
 	// access-path counters, accumulated locally (workers have no stats
@@ -251,12 +285,90 @@ func (ex *exec) flushAccessStats() {
 	ex.idxHits, ex.fullScans = 0, 0
 }
 
-// checkLimit enforces Options.MaxDerived against the derived-fact count.
+// checkLimit enforces the resource guards — Options.MaxDerived against the
+// derived-fact count and Options.MemBudget against the derived bytes.
 func (ex *exec) checkLimit() error {
 	if ex.maxDerived > 0 && ex.derived > ex.maxDerived {
 		return &LimitError{Limit: ex.maxDerived}
 	}
+	if ex.memBudget > 0 && ex.memUsed > ex.memBudget {
+		return &lderr.MemBudgetError{Budget: ex.memBudget}
+	}
 	return nil
+}
+
+// checkCtx maps a canceled/expired context to its taxonomy error; nil when
+// no context is attached or it is still live.  Called at every round
+// boundary, so a cancellation aborts the fixpoint within one round.
+func (ex *exec) checkCtx() error {
+	if ex.ctx == nil {
+		return nil
+	}
+	return lderr.FromContext(ex.ctx)
+}
+
+// pollEvery is the firing interval of the in-join interrupt poll: frequent
+// enough that one monster round (a grouping enumeration, a wide join)
+// still aborts promptly, rare enough to stay off the profile.
+const pollEvery = 256
+
+// poll is the cheap in-join interrupt check: every pollEvery firings it
+// consults the context and, in parallel workers, the shared breach flag.
+func (ex *exec) poll() error {
+	ex.polls++
+	if ex.polls%pollEvery != 0 {
+		return nil
+	}
+	if ex.breach != nil && ex.breach.Load() {
+		return &LimitError{Limit: ex.maxDerived}
+	}
+	return ex.checkCtx()
+}
+
+// charge records one derived fact against the resource budgets.
+func (ex *exec) charge(f *term.Fact) {
+	ex.derived++
+	if ex.memBudget > 0 {
+		ex.memUsed += factBytes(f)
+	}
+}
+
+// factBytes estimates the retained heap size of a fact: headers plus a
+// structural walk of its arguments.  The estimate only needs to be
+// monotone and roughly proportional — MemBudget is a runaway guard, not an
+// accountant.
+func factBytes(f *term.Fact) int64 {
+	n := int64(48)
+	for _, a := range f.Args {
+		n += termBytes(a)
+	}
+	return n
+}
+
+func termBytes(t term.Term) int64 {
+	switch t := t.(type) {
+	case term.Int:
+		return 16
+	case term.Atom:
+		return 16 + int64(len(t))
+	case term.Str:
+		return 16 + int64(len(t))
+	case term.Var:
+		return 16 + int64(len(t))
+	case *term.Compound:
+		n := int64(32 + len(t.Functor))
+		for _, a := range t.Args {
+			n += termBytes(a)
+		}
+		return n
+	case *term.Set:
+		n := int64(32)
+		for _, e := range t.Elems() {
+			n += termBytes(e)
+		}
+		return n
+	}
+	return 16
 }
 
 // evalLayer computes the fixpoint of one layer: grouping rules are applied
@@ -298,6 +410,9 @@ func (ex *exec) naiveFixpoint(rules []ast.Rule) error {
 		plans[i] = p
 	}
 	for {
+		if err := ex.checkCtx(); err != nil {
+			return err
+		}
 		ex.bumpIter()
 		changed := false
 		if ex.workers > 1 {
@@ -411,6 +526,9 @@ func (ex *exec) semiNaiveFixpoint(rules []ast.Rule) error {
 
 	// Iterate: each round consumes the previous delta.
 	for len(delta) > 0 {
+		if err := ex.checkCtx(); err != nil {
+			return err
+		}
 		ex.bumpIter()
 		next := map[string]*store.Relation{}
 		recordNext := func(f *term.Fact) {
@@ -486,6 +604,9 @@ func (ex *exec) applyRule(r ast.Rule, p *bodyPlan, onNew func(*term.Fact)) (int,
 		if ex.stats != nil {
 			ex.stats.Firings++
 		}
+		if err := ex.poll(); err != nil {
+			return err
+		}
 		ok, err := applyHeadArgs(r, b, scratch)
 		if err != nil || !ok {
 			return err // nil when the binding is outside U (§3.2)
@@ -498,9 +619,9 @@ func (ex *exec) applyRule(r ast.Rule, p *bodyPlan, onNew func(*term.Fact)) (int,
 		f := term.NewFact(r.Head.Pred, args...)
 		if ex.db.Insert(f) {
 			added++
-			ex.derived++
-			if ex.maxDerived > 0 && ex.derived > ex.maxDerived {
-				return &LimitError{Limit: ex.maxDerived}
+			ex.charge(f)
+			if err := ex.checkLimit(); err != nil {
+				return err
 			}
 			if ex.stats != nil {
 				ex.stats.Derived++
@@ -662,6 +783,9 @@ func (ex *exec) applyGroupingRule(r ast.Rule) error {
 		if ex.stats != nil {
 			ex.stats.Firings++
 		}
+		if err := ex.poll(); err != nil {
+			return err
+		}
 		args := make([]term.Term, len(r.Head.Args))
 		h := term.HashSeed
 		for i, a := range r.Head.Args {
@@ -719,7 +843,7 @@ func (ex *exec) applyGroupingRule(r ast.Rule) error {
 		args[gIdx] = term.NewSet(c.elems...)
 		f := term.NewFact(r.Head.Pred, args...)
 		if ex.db.Insert(f) {
-			ex.derived++
+			ex.charge(f)
 			if err := ex.checkLimit(); err != nil {
 				return err
 			}
@@ -737,12 +861,24 @@ func (ex *exec) applyGroupingRule(r ast.Rule) error {
 // Solve evaluates a conjunctive query body against a database, returning
 // one binding snapshot per solution (restricted to the query's variables).
 func Solve(body []ast.Literal, db *store.DB) ([]map[term.Var]term.Term, error) {
+	return SolveCtx(nil, body, db)
+}
+
+// SolveCtx is Solve under a context: the enumeration polls ctx and aborts
+// with lderr.Canceled / lderr.DeadlineExceeded when it is done.  A nil ctx
+// disables the polling.
+func SolveCtx(ctx context.Context, body []ast.Literal, db *store.DB) ([]map[term.Var]term.Term, error) {
 	r := ast.Rule{Head: ast.NewLit("$query"), Body: body}
 	p, err := planBody(r, -1, nil)
 	if err != nil {
 		return nil, err
 	}
-	ex := &exec{db: db, deltaSlot: -1}
+	ex := &exec{db: db, deltaSlot: -1, ctx: ctx}
+	// One up-front check makes a done context fail even when the
+	// enumeration is too short to reach the in-join polling stride.
+	if err := ex.checkCtx(); err != nil {
+		return nil, err
+	}
 	var out []map[term.Var]term.Term
 	// Solution tuples keyed by the combined hash of their bindings; the
 	// bucket resolves collisions by structural comparison.
@@ -750,6 +886,9 @@ func Solve(body []ast.Literal, db *store.DB) ([]map[term.Var]term.Term, error) {
 	vars := r.Vars()
 	b := unify.NewBindings()
 	err = ex.join(body, p, 0, b, func() error {
+		if err := ex.poll(); err != nil {
+			return err
+		}
 		h := term.HashSeed
 		for _, v := range vars {
 			if t, ok := b.Lookup(v); ok {

@@ -50,19 +50,23 @@ func TestDerivationLimitWorkerConsistency(t *testing.T) {
 	p := parser.MustParseProgram(ancestorSrc) // 4 parent facts, derives 8 ancestor facts
 	derived := 8
 
-	for _, workers := range []int{1, 4} {
+	for _, workers := range []int{1, 2, 4} {
 		// A limit below the derivation count aborts.
 		_, err := Eval(p, store.NewDB(), Options{MaxDerived: derived - 1, Workers: workers})
 		var le *LimitError
 		if !errors.As(err, &le) {
 			t.Errorf("workers=%d: limit %d: expected LimitError, got %v", workers, derived-1, err)
 		}
-		// A limit equal to the derivation count succeeds.
-		db, err := Eval(p, store.NewDB(), Options{MaxDerived: derived, Workers: workers})
-		if err != nil {
-			t.Errorf("workers=%d: limit %d: unexpected error %v", workers, derived, err)
-		} else if db.Rel("ancestor").Len() != derived {
-			t.Errorf("workers=%d: ancestor = %d, want %d", workers, db.Rel("ancestor").Len(), derived)
+		// A limit at or above the derivation count succeeds — the breach
+		// flag raised by parallel workers must never fire on a run whose
+		// exact deduplicated count fits the limit.
+		for _, limit := range []int{derived, derived + 1} {
+			db, err := Eval(p, store.NewDB(), Options{MaxDerived: limit, Workers: workers})
+			if err != nil {
+				t.Errorf("workers=%d: limit %d: unexpected error %v", workers, limit, err)
+			} else if db.Rel("ancestor").Len() != derived {
+				t.Errorf("workers=%d: ancestor = %d, want %d", workers, db.Rel("ancestor").Len(), derived)
+			}
 		}
 	}
 
@@ -77,7 +81,7 @@ func TestDerivationLimitWorkerConsistency(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		edb.Insert(term.NewFact("par", term.Int(i), term.Int(i+1)))
 	}
-	for _, workers := range []int{1, 4} {
+	for _, workers := range []int{1, 2, 4} {
 		db, err := Eval(big, edb, Options{MaxDerived: 5, Workers: workers})
 		if err != nil {
 			t.Errorf("workers=%d: EDB size counted against MaxDerived: %v", workers, err)

@@ -31,6 +31,16 @@ type ruleTask struct {
 // relations through their compiled access paths; once a round's first
 // lookup has built an index, the remaining probes are lock-free (the store
 // publishes index snapshots atomically).
+//
+// Limit semantics under MaxDerived are identical to the sequential path —
+// the outcome depends only on the exact deduplicated count the caller
+// checks after the merge.  Breach detection is a shared atomic: worker-
+// local facts are distinct and absent from the shared database, so
+// ex.derived + one task's local count exceeding the limit proves the merged
+// count will too, regardless of which worker observes it first or of
+// cross-worker duplicates.  The observing worker raises ex.breach; the
+// others poll it and stop enumerating early.  The flag is only ever raised
+// on a certain breach, so early-stopping cannot flip an outcome.
 func (ex *exec) runParallelRound(tasks []ruleTask, workers int) ([]*term.Fact, error) {
 	if workers > len(tasks) {
 		workers = len(tasks)
@@ -52,7 +62,11 @@ func (ex *exec) runParallelRound(tasks []ruleTask, workers int) ([]*term.Fact, e
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			t := tasks[i]
-			w := &exec{db: ex.db, delta: t.delta, deltaSlot: t.deltaSlot, maxDerived: 0}
+			w := &exec{
+				db: ex.db, delta: t.delta, deltaSlot: t.deltaSlot,
+				ctx: ex.ctx, breach: ex.breach,
+				maxDerived: ex.maxDerived, roundBase: ex.derived,
+			}
 			facts, firings, err := w.collectRule(t.rule, t.plan)
 			results[i] = result{facts: facts, firings: firings, idxHits: w.idxHits, fullScans: w.fullScans, err: err}
 		}(i)
@@ -94,6 +108,9 @@ func (ex *exec) collectRule(r ast.Rule, p *bodyPlan) ([]*term.Fact, int, error) 
 	scratch := make([]term.Term, len(r.Head.Args))
 	err := ex.join(r.Body, p, 0, b, func() error {
 		firings++
+		if err := ex.poll(); err != nil {
+			return err
+		}
 		ok, err := applyHeadArgs(r, b, scratch)
 		if err != nil || !ok {
 			return err // nil when the binding is outside U
@@ -111,6 +128,14 @@ func (ex *exec) collectRule(r ast.Rule, p *bodyPlan) ([]*term.Fact, int, error) 
 		if !local.Contains(f) {
 			local.Add(f)
 			out = append(out, f)
+			// Certain breach: the merged round will add at least this
+			// task's local facts on top of the exact pre-round count.
+			if ex.maxDerived > 0 && ex.roundBase+len(out) > ex.maxDerived {
+				if ex.breach != nil {
+					ex.breach.Store(true)
+				}
+				return &LimitError{Limit: ex.maxDerived}
+			}
 		}
 		return nil
 	})
@@ -139,15 +164,16 @@ func chunkRelation(d *store.Relation, n int, useIdx bool) []*store.Relation {
 }
 
 // mergeRound inserts derived facts and feeds the semi-naive delta
-// recorder.  It also advances the derived-fact count backing
-// Options.MaxDerived, so parallel rounds enforce the same derived-only
-// semantics as the sequential path (the caller checks after the merge).
+// recorder.  It also advances the derived-fact count and memory budget
+// backing Options.MaxDerived/MemBudget, so parallel rounds enforce the
+// same derived-only semantics as the sequential path (the caller checks
+// after the merge).
 func (ex *exec) mergeRound(facts []*term.Fact, onNew func(*term.Fact)) int {
 	added := 0
 	for _, f := range facts {
 		if ex.db.Insert(f) {
 			added++
-			ex.derived++
+			ex.charge(f)
 			if ex.stats != nil {
 				ex.stats.Derived++
 			}

@@ -13,6 +13,9 @@ import (
 // layer; cross-layer effects arrive through s.gIns/s.gDel.
 func (m *Materialized) applyLayer(s *txState, i int, txIns, txDel []*term.Fact) error {
 	lr := &m.layers[i]
+	if err := s.interrupt(); err != nil {
+		return err
+	}
 
 	// Phase G — grouping.  Bodies of grouping rules are strictly below
 	// layer i (Lemma 3.2.3), so the net deltas they read are final.  A
@@ -72,7 +75,7 @@ func (m *Materialized) applyLayer(s *txState, i int, txIns, txDel []*term.Fact) 
 			})
 		}
 	}
-	out, err := m.runTasks(tasks, s.st)
+	out, err := m.runTasks(s.ctx, tasks, s.st)
 	if err != nil {
 		return err
 	}
@@ -82,6 +85,9 @@ func (m *Materialized) applyLayer(s *txState, i int, txIns, txDel []*term.Fact) 
 		}
 	}
 	for len(frontier) > 0 {
+		if err := s.interrupt(); err != nil {
+			return err
+		}
 		byPred := splitByPred(frontier)
 		frontier = nil
 		tasks = tasks[:0]
@@ -103,7 +109,7 @@ func (m *Materialized) applyLayer(s *txState, i int, txIns, txDel []*term.Fact) 
 				})
 			}
 		}
-		out, err := m.runTasks(tasks, s.st)
+		out, err := m.runTasks(s.ctx, tasks, s.st)
 		if err != nil {
 			return err
 		}
@@ -139,7 +145,7 @@ func (m *Materialized) applyLayer(s *txState, i int, txIns, txDel []*term.Fact) 
 			return []*term.Fact{f}, nil
 		})
 	}
-	out, err = m.runTasks(tasks, s.st)
+	out, err = m.runTasks(s.ctx, tasks, s.st)
 	if err != nil {
 		return err
 	}
@@ -154,6 +160,9 @@ func (m *Materialized) applyLayer(s *txState, i int, txIns, txDel []*term.Fact) 
 		}
 	}
 	for len(res) > 0 && deleted.len() > 0 {
+		if err := s.interrupt(); err != nil {
+			return err
+		}
 		byPred := splitByPred(res)
 		res = nil
 		tasks = tasks[:0]
@@ -173,7 +182,7 @@ func (m *Materialized) applyLayer(s *txState, i int, txIns, txDel []*term.Fact) 
 				})
 			}
 		}
-		out, err := m.runTasks(tasks, s.st)
+		out, err := m.runTasks(s.ctx, tasks, s.st)
 		if err != nil {
 			return err
 		}
@@ -206,6 +215,7 @@ func (m *Materialized) applyLayer(s *txState, i int, txIns, txDel []*term.Fact) 
 		if !ok {
 			return
 		}
+		s.derived++
 		insFrontier = append(insFrontier, g)
 		if s.gDel.remove(g) {
 			if s.st != nil {
@@ -244,7 +254,7 @@ func (m *Materialized) applyLayer(s *txState, i int, txIns, txDel []*term.Fact) 
 			})
 		}
 	}
-	out, err = m.runTasks(tasks, s.st)
+	out, err = m.runTasks(s.ctx, tasks, s.st)
 	if err != nil {
 		return err
 	}
@@ -254,6 +264,9 @@ func (m *Materialized) applyLayer(s *txState, i int, txIns, txDel []*term.Fact) 
 		}
 	}
 	for len(insFrontier) > 0 {
+		if err := s.interrupt(); err != nil {
+			return err
+		}
 		byPred := splitByPred(insFrontier)
 		insFrontier = nil
 		tasks = tasks[:0]
@@ -273,7 +286,7 @@ func (m *Materialized) applyLayer(s *txState, i int, txIns, txDel []*term.Fact) 
 				})
 			}
 		}
-		out, err := m.runTasks(tasks, s.st)
+		out, err := m.runTasks(s.ctx, tasks, s.st)
 		if err != nil {
 			return err
 		}
@@ -283,7 +296,9 @@ func (m *Materialized) applyLayer(s *txState, i int, txIns, txDel []*term.Fact) 
 			}
 		}
 	}
-	return nil
+	// A bound breached by the final cascade round must still fail the
+	// transaction before ApplyCtx publishes the fork.
+	return s.interrupt()
 }
 
 // derivable is the rederivation test: f survives the deletion overestimate

@@ -1,0 +1,179 @@
+package incr
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"ldl1/internal/eval"
+	"ldl1/internal/lderr"
+	"ldl1/internal/parser"
+	"ldl1/internal/store"
+	"ldl1/internal/term"
+)
+
+// countdownCtx cancels after a fixed number of polls; see the eval package
+// twin.  The counter is atomic because parallel maintenance workers poll
+// the shared context concurrently.
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func newCountdownCtx(polls int) *countdownCtx {
+	c := &countdownCtx{Context: context.Background()}
+	c.remaining.Store(int64(polls))
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+const cancelRules = `
+	ancestor(X, Y) <- parent(X, Y).
+	ancestor(X, Y) <- parent(X, Z), ancestor(Z, Y).
+`
+
+func chainEDB(n int) *store.DB {
+	db := store.NewDB()
+	for i := 0; i < n; i++ {
+		db.Insert(term.NewFact("parent", term.Int(i), term.Int(i+1)))
+	}
+	return db
+}
+
+// TestApplyCtxCancellationOracle cancels one mixed transaction at every
+// poll index in turn, under 1, 2 and 4 workers.  A canceled Apply must
+// leave the EDB, the published snapshot and all future maintenance exactly
+// as if it was never attempted: after retrying the same transaction to
+// completion, the model must equal the from-scratch evaluation.
+func TestApplyCtxCancellationOracle(t *testing.T) {
+	p := parser.MustParseProgram(cancelRules)
+	tx := Tx{
+		Insert: []*term.Fact{
+			term.NewFact("parent", term.Int(20), term.Int(0)),
+			term.NewFact("parent", term.Int(8), term.Int(21)),
+		},
+		Retract: []*term.Fact{
+			term.NewFact("parent", term.Int(3), term.Int(4)),
+		},
+	}
+	// The model the transaction must produce, computed from scratch.
+	after := chainEDB(8)
+	for _, f := range tx.Insert {
+		after.Insert(f)
+	}
+	for _, f := range tx.Retract {
+		after.Delete(f)
+	}
+	want, err := eval.Eval(p, after, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 4} {
+		// Measure how often a full run polls the context, then cancel at
+		// every index up to (and including) that count: the last iteration
+		// completes, all shorter ones cancel somewhere mid-maintenance.
+		probe := newCountdownCtx(1 << 30)
+		m0, err := New(p, chainEDB(8), Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m0.ApplyCtx(probe, tx); err != nil {
+			t.Fatal(err)
+		}
+		totalPolls := int(1<<30 - probe.remaining.Load())
+		if totalPolls < 2 {
+			t.Fatalf("workers=%d: transaction polled only %d times", workers, totalPolls)
+		}
+
+		canceled, completed := 0, 0
+		for polls := 0; polls <= totalPolls; polls++ {
+			m, err := New(p, chainEDB(8), Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pre := m.Snapshot()
+			preEDB := store.NewFactSet()
+			for _, f := range m.EDBFacts() {
+				preEDB.Add(f)
+			}
+			_, err = m.ApplyCtx(newCountdownCtx(polls), tx)
+			if err != nil {
+				if !errors.Is(err, lderr.Canceled) {
+					t.Fatalf("workers=%d polls=%d: want lderr.Canceled, got %v", workers, polls, err)
+				}
+				if m.Snapshot() != pre {
+					t.Fatalf("workers=%d polls=%d: canceled Apply published a new snapshot", workers, polls)
+				}
+				for _, f := range m.EDBFacts() {
+					if !preEDB.Contains(f) {
+						t.Fatalf("workers=%d polls=%d: canceled Apply mutated the EDB (%s)", workers, polls, f)
+					}
+				}
+				canceled++
+				// The rolled-back view must accept the same transaction.
+				if _, err := m.Apply(tx); err != nil {
+					t.Fatalf("workers=%d polls=%d: retry after cancel: %v", workers, polls, err)
+				}
+			} else {
+				completed++
+			}
+			if !m.Snapshot().Equal(want) {
+				t.Fatalf("workers=%d polls=%d: final model differs from from-scratch evaluation", workers, polls)
+			}
+		}
+		if canceled == 0 || completed == 0 {
+			t.Fatalf("workers=%d: oracle did not exercise both outcomes (canceled=%d completed=%d)", workers, canceled, completed)
+		}
+	}
+}
+
+// TestApplyMaxDerivedRollback pins the per-transaction derivation bound: a
+// breaching transaction fails with LimitError and rolls back, and the view
+// keeps accepting transactions that fit.
+func TestApplyMaxDerivedRollback(t *testing.T) {
+	p := parser.MustParseProgram(cancelRules)
+	for _, workers := range []int{1, 4} {
+		m, err := New(p, chainEDB(2), Options{Workers: workers, MaxDerived: 6})
+		if err != nil {
+			t.Fatalf("workers=%d: initial materialization: %v", workers, err)
+		}
+		pre := m.Snapshot()
+
+		// Extending the chain by 3 edges derives 3 parent + 12 ancestor
+		// facts — far over the bound of 6.
+		big := Tx{Insert: []*term.Fact{
+			term.NewFact("parent", term.Int(2), term.Int(3)),
+			term.NewFact("parent", term.Int(3), term.Int(4)),
+			term.NewFact("parent", term.Int(4), term.Int(5)),
+		}}
+		_, err = m.Apply(big)
+		var le *lderr.LimitError
+		if !errors.As(err, &le) {
+			t.Fatalf("workers=%d: want LimitError, got %v", workers, err)
+		}
+		if le.Limit != 6 {
+			t.Errorf("workers=%d: limit = %d", workers, le.Limit)
+		}
+		if m.Snapshot() != pre {
+			t.Fatalf("workers=%d: breaching transaction published a snapshot", workers)
+		}
+
+		// A disconnected edge derives 2 facts and still fits.
+		small := Tx{Insert: []*term.Fact{term.NewFact("parent", term.Int(50), term.Int(51))}}
+		res, err := m.Apply(small)
+		if err != nil {
+			t.Fatalf("workers=%d: small transaction after rollback: %v", workers, err)
+		}
+		if res.Inserted != 2 {
+			t.Errorf("workers=%d: small tx inserted %d facts, want 2", workers, res.Inserted)
+		}
+	}
+}

@@ -31,12 +31,14 @@
 package incr
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"ldl1/internal/ast"
 	"ldl1/internal/eval"
 	"ldl1/internal/layering"
+	"ldl1/internal/lderr"
 	"ldl1/internal/store"
 	"ldl1/internal/term"
 	"ldl1/internal/unify"
@@ -71,6 +73,12 @@ type Options struct {
 	// initial materialization and every Apply (DeletedOverestimate,
 	// Rederived, RegroupedClasses, and the access-path counters).
 	Stats *eval.Stats
+	// MaxDerived > 0 bounds the facts a single Apply may insert into the
+	// working model (net insertions and resurrections alike).  A breaching
+	// transaction fails with *lderr.LimitError and rolls back completely.
+	// The bound also applies to the initial materialization, where it is
+	// eval.Options.MaxDerived verbatim.
+	MaxDerived int
 }
 
 // layerRules holds the compiled rules of one layer, split by kind.
@@ -150,9 +158,10 @@ func New(p *ast.Program, edb *store.DB, opts Options) (*Materialized, error) {
 		m.edb.Insert(f)
 	}
 	model, err := eval.Eval(p, m.edb, eval.Options{
-		Strategy: opts.Strategy,
-		Stats:    opts.Stats,
-		Workers:  opts.Workers,
+		Strategy:   opts.Strategy,
+		Stats:      opts.Stats,
+		Workers:    opts.Workers,
+		MaxDerived: opts.MaxDerived,
 	})
 	if err != nil {
 		return nil, err
@@ -186,6 +195,24 @@ type txState struct {
 	// are final) and appends its own net changes.
 	gIns, gDel *deltaSet
 	st         *eval.Stats
+
+	ctx        context.Context // cancellation; may be nil
+	derived    int             // facts inserted into w this transaction
+	maxDerived int             // Options.MaxDerived; 0 = unbounded
+}
+
+// interrupt reports why the transaction must stop: a done context or a
+// breached derivation bound.  It is checked at every phase and cascade-round
+// boundary; each round is finite, so the checks also guarantee termination
+// of a maintenance cascade that would otherwise exceed the bound unbounded.
+func (s *txState) interrupt() error {
+	if err := lderr.FromContext(s.ctx); err != nil {
+		return err
+	}
+	if s.maxDerived > 0 && s.derived > s.maxDerived {
+		return &lderr.LimitError{Limit: s.maxDerived}
+	}
+	return nil
 }
 
 // Apply advances the materialized model by one transaction and returns the
@@ -193,9 +220,21 @@ type txState struct {
 // the published model changes.  Apply never mutates a previously published
 // snapshot.
 func (m *Materialized) Apply(tx Tx) (Result, error) {
+	return m.ApplyCtx(context.Background(), tx)
+}
+
+// ApplyCtx is Apply under a context: maintenance checks ctx at every phase
+// and cascade-round boundary and aborts with lderr.Canceled or
+// lderr.DeadlineExceeded.  An aborted transaction rolls back completely —
+// the working model is a copy-on-write fork published only on success, so
+// neither the EDB nor any snapshot observes a partial transaction.
+func (m *Materialized) ApplyCtx(ctx context.Context, tx Tx) (Result, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
+	if err := lderr.FromContext(ctx); err != nil {
+		return Result{}, err
+	}
 	old := m.model.Load()
 	edb2 := m.edb.Fork()
 
@@ -244,12 +283,14 @@ func (m *Materialized) Apply(tx Tx) (Result, error) {
 	}
 
 	s := &txState{
-		old:  old,
-		w:    old.Fork(),
-		edb:  edb2,
-		gIns: newDeltaSet(),
-		gDel: newDeltaSet(),
-		st:   m.opts.Stats,
+		old:        old,
+		w:          old.Fork(),
+		edb:        edb2,
+		gIns:       newDeltaSet(),
+		gDel:       newDeltaSet(),
+		st:         m.opts.Stats,
+		ctx:        ctx,
+		maxDerived: m.opts.MaxDerived,
 	}
 	for i := 0; i < ns; i++ {
 		if err := m.applyLayer(s, i, insBy[i], delBy[i]); err != nil {

@@ -1,10 +1,12 @@
 package incr
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"ldl1/internal/eval"
+	"ldl1/internal/lderr"
 	"ldl1/internal/term"
 )
 
@@ -17,8 +19,10 @@ type task func(st *eval.Stats) ([]*term.Fact, error)
 // has Workers > 1, and returns the results in task order.  Merging in task
 // order — not completion order — makes parallel maintenance produce the
 // same model, fact for fact and in the same relation order, as sequential
-// maintenance.  Per-task stats merge into st single-threaded.
-func (m *Materialized) runTasks(tasks []task, st *eval.Stats) ([][]*term.Fact, error) {
+// maintenance.  Per-task stats merge into st single-threaded.  A done ctx
+// stops workers before they claim their next task; the typed error
+// surfaces in task order like any task failure.
+func (m *Materialized) runTasks(ctx context.Context, tasks []task, st *eval.Stats) ([][]*term.Fact, error) {
 	if len(tasks) == 0 {
 		return nil, nil
 	}
@@ -29,6 +33,9 @@ func (m *Materialized) runTasks(tasks []task, st *eval.Stats) ([][]*term.Fact, e
 	if workers <= 1 {
 		out := make([][]*term.Fact, len(tasks))
 		for i, t := range tasks {
+			if err := lderr.FromContext(ctx); err != nil {
+				return nil, err
+			}
 			fs, err := t(st)
 			if err != nil {
 				return nil, err
@@ -49,6 +56,10 @@ func (m *Materialized) runTasks(tasks []task, st *eval.Stats) ([][]*term.Fact, e
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(tasks) {
+					return
+				}
+				if err := lderr.FromContext(ctx); err != nil {
+					errs[i] = err
 					return
 				}
 				out[i], errs[i] = tasks[i](&stats[i])

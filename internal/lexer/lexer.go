@@ -12,6 +12,8 @@ import (
 	"strings"
 	"unicode"
 	"unicode/utf8"
+
+	"ldl1/internal/lderr"
 )
 
 // Type enumerates token types.
@@ -123,15 +125,10 @@ func (t Token) String() string {
 	return t.Type.String()
 }
 
-// Error is a lexical error with position information.
-type Error struct {
-	Line, Col int
-	Msg       string
-}
-
-func (e *Error) Error() string {
-	return fmt.Sprintf("lex error at %d:%d: %s", e.Line, e.Col, e.Msg)
-}
+// Error is a lexical error with position information.  It is an alias of
+// lderr.ParseError, so errors.As against *lderr.ParseError catches lexical
+// and syntactic errors alike.
+type Error = lderr.ParseError
 
 // Lexer scans LDL1 source text.
 type Lexer struct {

@@ -5,6 +5,7 @@ import (
 
 	"ldl1/internal/ast"
 	"ldl1/internal/eval"
+	"ldl1/internal/lderr"
 	"ldl1/internal/parser"
 	"ldl1/internal/store"
 	"ldl1/internal/term"
@@ -75,6 +76,13 @@ func AnswerVariant(p *ast.Program, edb *store.DB, query parser.Query, opts eval.
 		if pass > maxPasses {
 			return nil, fmt.Errorf("magic: no fixpoint after %d passes", maxPasses)
 		}
+		// The inner EvalGroups checks opts.Ctx at every round; the pass
+		// boundary check here covers the clone/preload work between them.
+		if opts.Ctx != nil {
+			if err := lderr.FromContext(opts.Ctx); err != nil {
+				return nil, err
+			}
+		}
 		db := edb.Clone()
 		for _, f := range acc.Facts() {
 			db.Insert(f)
@@ -102,7 +110,7 @@ func AnswerVariant(p *ast.Program, edb *store.DB, query parser.Query, opts eval.
 
 	// Read the answers off the adorned query predicate.
 	qlit := ast.Literal{Pred: rw.AnswerPred, Args: ap.QueryLit.Args}
-	sols, err := eval.Solve([]ast.Literal{qlit}, res.DB)
+	sols, err := eval.SolveCtx(opts.Ctx, []ast.Literal{qlit}, res.DB)
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +126,7 @@ func AnswerWithout(p *ast.Program, edb *store.DB, query parser.Query, opts eval.
 	if err != nil {
 		return nil, nil, err
 	}
-	sols, err := eval.Solve(query.Body, db)
+	sols, err := eval.SolveCtx(opts.Ctx, query.Body, db)
 	if err != nil {
 		return nil, nil, err
 	}

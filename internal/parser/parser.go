@@ -26,6 +26,7 @@ import (
 	"strconv"
 
 	"ldl1/internal/ast"
+	"ldl1/internal/lderr"
 	"ldl1/internal/lexer"
 	"ldl1/internal/term"
 )
@@ -52,15 +53,11 @@ type Unit struct {
 	Queries []Query
 }
 
-// Error is a parse error with position information.
-type Error struct {
-	Line, Col int
-	Msg       string
-}
-
-func (e *Error) Error() string {
-	return fmt.Sprintf("parse error at %d:%d: %s", e.Line, e.Col, e.Msg)
-}
+// Error is a parse error with position information.  It is an alias of
+// lderr.ParseError: callers branch on parse failures with
+// errors.As(err, new(*lderr.ParseError)) regardless of whether the lexer
+// or the parser rejected the source.
+type Error = lderr.ParseError
 
 type parser struct {
 	toks []lexer.Token

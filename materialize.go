@@ -1,7 +1,9 @@
 package ldl1
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"ldl1/internal/eval"
 	"ldl1/internal/incr"
@@ -22,23 +24,40 @@ type UpdateResult = incr.Result
 // before an update remain valid and unchanged, so concurrent readers never
 // observe a half-applied transaction.
 type Materialized struct {
-	inner *incr.Materialized
+	inner    *incr.Materialized
+	deadline time.Duration
 }
 
 // Materialize evaluates the engine's program once against its current
 // extensional database and returns the incrementally maintained view.
 // Subsequent AddFact calls on the engine do not affect the view; use
-// Assert/Retract on the view instead.
+// Assert/Retract on the view instead.  The engine's WithLimit bound
+// carries over: it caps the facts any single update transaction may
+// derive, and a breaching transaction rolls back.  WithDeadline carries
+// over likewise, per operation.
 func (e *Engine) Materialize() (*Materialized, error) {
 	inner, err := incr.New(e.source, e.edb, incr.Options{
-		Workers:  e.cfg.workers,
-		Strategy: e.cfg.strategy,
-		Stats:    e.cfg.stats,
+		Workers:    e.cfg.workers,
+		Strategy:   e.cfg.strategy,
+		Stats:      e.cfg.stats,
+		MaxDerived: e.cfg.limit,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Materialized{inner: inner}, nil
+	return &Materialized{inner: inner, deadline: e.cfg.deadline}, nil
+}
+
+// withDeadline layers the engine's WithDeadline onto ctx; the cancel func
+// must always be called.
+func (mv *Materialized) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if mv.deadline > 0 {
+		return context.WithTimeout(ctx, mv.deadline)
+	}
+	return ctx, func() {}
 }
 
 // parseFactList parses LDL1 source text consisting of facts only.
@@ -60,22 +79,40 @@ func parseFactList(src string) ([]*term.Fact, error) {
 // Assert inserts extensional facts given as source text ("par(a, b). ...")
 // as one transaction and incrementally updates the model.
 func (mv *Materialized) Assert(src string) (UpdateResult, error) {
+	return mv.AssertCtx(context.Background(), src)
+}
+
+// AssertCtx is Assert under a context.  A canceled context or expired
+// deadline rolls the transaction back completely: neither the view's EDB
+// nor any model snapshot changes, and the returned error satisfies
+// errors.Is against lderr.Canceled or lderr.DeadlineExceeded.
+func (mv *Materialized) AssertCtx(ctx context.Context, src string) (UpdateResult, error) {
 	fs, err := parseFactList(src)
 	if err != nil {
 		return UpdateResult{}, err
 	}
-	return mv.inner.Apply(incr.Tx{Insert: fs})
+	ctx, cancel := mv.withDeadline(ctx)
+	defer cancel()
+	return mv.inner.ApplyCtx(ctx, incr.Tx{Insert: fs})
 }
 
 // Retract removes extensional facts given as source text as one
 // transaction and incrementally updates the model.  Retracting an absent
 // fact is a no-op.
 func (mv *Materialized) Retract(src string) (UpdateResult, error) {
+	return mv.RetractCtx(context.Background(), src)
+}
+
+// RetractCtx is Retract under a context, with AssertCtx's rollback
+// guarantee.
+func (mv *Materialized) RetractCtx(ctx context.Context, src string) (UpdateResult, error) {
 	fs, err := parseFactList(src)
 	if err != nil {
 		return UpdateResult{}, err
 	}
-	return mv.inner.Apply(incr.Tx{Retract: fs})
+	ctx, cancel := mv.withDeadline(ctx)
+	defer cancel()
+	return mv.inner.ApplyCtx(ctx, incr.Tx{Retract: fs})
 }
 
 // Model returns the current model as an immutable snapshot.
@@ -85,11 +122,19 @@ func (mv *Materialized) Model() *Model {
 
 // Query answers a conjunctive query against the current model snapshot.
 func (mv *Materialized) Query(q string) (*Answers, error) {
+	return mv.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx is Query under a context; enumeration stops at the next
+// solution once the context is done.
+func (mv *Materialized) QueryCtx(ctx context.Context, q string) (*Answers, error) {
 	query, err := parser.ParseQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	sols, err := eval.Solve(query.Body, mv.inner.Snapshot())
+	ctx, cancel := mv.withDeadline(ctx)
+	defer cancel()
+	sols, err := eval.SolveCtx(ctx, query.Body, mv.inner.Snapshot())
 	if err != nil {
 		return nil, err
 	}
