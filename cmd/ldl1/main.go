@@ -6,6 +6,7 @@
 //
 //	ldl1 [flags] file.ldl...          # run programs; answer embedded ?- queries
 //	ldl1 [flags] -q 'anc(a, W)' file.ldl
+//	ldl1 vet [-json] [-strict] path...  # static analysis only; see vet.go
 //
 // Flags:
 //
@@ -33,6 +34,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "vet" {
+		os.Exit(vetMain(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "ldl1:", err)
 		os.Exit(1)

@@ -25,6 +25,7 @@ import (
 //	:explain f(a, b)   print a proof tree for a fact in the model
 //	:model             print the whole minimal model
 //	:strata            print the layering
+//	:check             run the static analyzer over the loaded program
 //	:help              this text
 //	:quit              leave
 //
@@ -117,7 +118,20 @@ func repl(eng *ldl1.Engine, in io.Reader, out io.Writer) error {
 		case line == ":quit" || line == ":q":
 			return nil
 		case line == ":help":
-			fmt.Fprintln(out, "assert <fact>.  retract <fact>.  :assert <fact>.  :explain <fact>  :model  :strata  :quit")
+			fmt.Fprintln(out, "assert <fact>.  retract <fact>.  :assert <fact>.  :explain <fact>  :model  :strata  :check  :quit")
+		case line == ":check" || line == "check":
+			ds := eng.Vet()
+			if len(ds) == 0 {
+				fmt.Fprintln(out, "ok: no diagnostics")
+				continue
+			}
+			color := isTerminal(out)
+			for _, d := range ds {
+				fmt.Fprintln(out, renderDiag(d, color))
+				for _, rel := range d.Related {
+					fmt.Fprintf(out, "\t%s: %s\n", rel.Pos, rel.Message)
+				}
+			}
 		case line == ":model":
 			if mat != nil {
 				fmt.Fprintln(out, mat.Model())

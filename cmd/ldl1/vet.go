@@ -1,0 +1,160 @@
+package main
+
+// ldl1 vet — the static analyzer as a subcommand.
+//
+//	ldl1 vet [-json] [-strict] path...
+//
+// A path may be an .ldl file, a Go file (raw string literals that parse as
+// LDL1 are extracted and analyzed in place, positions pointing into the Go
+// file), a directory, or a Go-style "dir/..." pattern; directories are
+// walked recursively for *.ldl and *.go.  Diagnostics go to stdout, one
+// per line, "file:line:col: severity: message [LDL0xx]".  Exit status: 0
+// clean, 1 when any error-severity diagnostic was reported (-strict: when
+// anything at all was reported), 2 on usage or I/O problems.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ldl1/internal/analyze"
+)
+
+func vetMain(args []string, stdout, stderr io.Writer) int {
+	fset := flag.NewFlagSet("vet", flag.ExitOnError)
+	jsonOut := fset.Bool("json", false, "emit diagnostics as a JSON array")
+	strict := fset.Bool("strict", false, "exit 1 on warnings too, not only errors")
+	fset.SetOutput(stderr)
+	fset.Usage = func() {
+		fmt.Fprintln(stderr, "usage: ldl1 vet [-json] [-strict] file.ldl|file.go|dir|dir/... ...")
+		fset.PrintDefaults()
+	}
+	fset.Parse(args)
+	if fset.NArg() == 0 {
+		fset.Usage()
+		return 2
+	}
+
+	files, err := expandVetPaths(fset.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "ldl1 vet:", err)
+		return 2
+	}
+
+	var diags []analyze.Diagnostic
+	broken := false
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(stderr, "ldl1 vet:", err)
+			broken = true
+			continue
+		}
+		if strings.HasSuffix(file, ".go") {
+			ds, err := analyze.GoSource(file, data, analyze.Options{File: file})
+			if err != nil {
+				fmt.Fprintf(stderr, "ldl1 vet: %s: %v\n", file, err)
+				broken = true
+				continue
+			}
+			diags = append(diags, ds...)
+			continue
+		}
+		diags = append(diags, analyze.Source(string(data), analyze.Options{File: file})...)
+	}
+
+	if *jsonOut {
+		if diags == nil {
+			diags = []analyze.Diagnostic{}
+		}
+		b, err := json.MarshalIndent(diags, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "ldl1 vet:", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, string(b))
+	} else {
+		fmt.Fprint(stdout, analyze.Format(diags))
+	}
+
+	switch {
+	case broken:
+		return 2
+	case analyze.ErrorCount(diags) > 0, *strict && len(diags) > 0:
+		return 1
+	}
+	return 0
+}
+
+// expandVetPaths resolves files, directories, and "dir/..." patterns into
+// the list of .ldl and .go files to analyze, in deterministic order.
+func expandVetPaths(paths []string) ([]string, error) {
+	var out []string
+	seen := map[string]bool{}
+	add := func(f string) {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	for _, p := range paths {
+		p = strings.TrimSuffix(p, "/...")
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			add(p)
+			continue
+		}
+		err = filepath.WalkDir(p, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				return nil
+			}
+			if strings.HasSuffix(path, ".ldl") || strings.HasSuffix(path, ".go") {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// isTerminal reports whether w writes to an interactive terminal; the REPL
+// colorizes severities only then.
+func isTerminal(w any) bool {
+	f, ok := w.(*os.File)
+	if !ok {
+		return false
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return info.Mode()&os.ModeCharDevice != 0
+}
+
+// renderDiag is Diagnostic.String with an optionally colorized severity.
+func renderDiag(d analyze.Diagnostic, color bool) string {
+	s := d.String()
+	if !color {
+		return s
+	}
+	switch d.Severity {
+	case analyze.Error:
+		return strings.Replace(s, ": error: ", ": \x1b[31merror\x1b[0m: ", 1)
+	default:
+		return strings.Replace(s, ": warning: ", ": \x1b[33mwarning\x1b[0m: ", 1)
+	}
+}

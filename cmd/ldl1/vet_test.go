@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ldl1"
+	"ldl1/internal/analyze"
+)
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runVet(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := vetMain(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestVetMain(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.ldl")
+	bad := filepath.Join(dir, "sub", "bad.ldl")
+	warn := filepath.Join(dir, "warn.ldl")
+	embedded := filepath.Join(dir, "prog.go")
+	writeFile(t, good, "d(1).\np(X) <- d(X).\n")
+	writeFile(t, bad, "big(X) <- d(Y), Y < X.\nd(1).\n")
+	writeFile(t, warn, "d(1).\ne(2).\npair(X, Y) <- d(X), e(Y).\n")
+	writeFile(t, embedded, "package p\n\nconst src = `\nf(Z, a).\n`\n")
+
+	if code, out, _ := runVet(t, good); code != 0 || out != "" {
+		t.Errorf("clean file: exit %d, output %q", code, out)
+	}
+
+	// Directory walk finds the nested unsafe file; errors exit 1.
+	code, out, _ := runVet(t, dir+"/...")
+	if code != 1 {
+		t.Errorf("directory with errors: exit %d", code)
+	}
+	if !strings.Contains(out, "LDL001") || !strings.Contains(out, "bad.ldl:1:5") {
+		t.Errorf("missing positioned diagnostic:\n%s", out)
+	}
+	// The embedded Go program's ground-fact violation surfaces too, with
+	// Go-file line numbers (fact on file line 4).
+	if !strings.Contains(out, "prog.go:4:3") || !strings.Contains(out, "LDL004") {
+		t.Errorf("embedded Go diagnostics missing:\n%s", out)
+	}
+
+	// Warnings alone exit 0, unless -strict.
+	if code, _, _ := runVet(t, warn); code != 0 {
+		t.Errorf("warnings only: exit %d, want 0", code)
+	}
+	if code, _, _ := runVet(t, "-strict", warn); code != 1 {
+		t.Errorf("warnings under -strict: exit %d, want 1", code)
+	}
+
+	// -json output round-trips through encoding/json.
+	code, out, _ = runVet(t, "-json", bad)
+	if code != 1 {
+		t.Errorf("-json exit %d, want 1", code)
+	}
+	var ds []analyze.Diagnostic
+	if err := json.Unmarshal([]byte(out), &ds); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if len(ds) == 0 || ds[0].Code != "LDL001" || ds[0].Severity != analyze.Error {
+		t.Errorf("unexpected JSON diagnostics: %+v", ds)
+	}
+	reEncoded, err := json.Marshal(ds)
+	if err != nil || !strings.Contains(string(reEncoded), `"severity":"error"`) {
+		t.Errorf("re-encoded JSON lost severity: %v %s", err, reEncoded)
+	}
+
+	// A clean tree under -json prints an empty array.
+	if _, out, _ := runVet(t, "-json", good); strings.TrimSpace(out) != "[]" {
+		t.Errorf("clean -json output %q, want []", out)
+	}
+
+	// Missing paths are usage errors: exit 2.
+	if code, _, errOut := runVet(t, filepath.Join(dir, "nope.ldl")); code != 2 || errOut == "" {
+		t.Errorf("missing file: exit %d, stderr %q", code, errOut)
+	}
+	if code, _, _ := runVet(t); code != 2 {
+		t.Errorf("no arguments: exit %d, want 2", code)
+	}
+}
+
+// TestVetAcceptance pins the ISSUE acceptance scenario: a grouping/negation
+// cycle reports the witness cycle with the file:line:col of each inducing
+// rule and exits nonzero.
+func TestVetAcceptance(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "cycle.ldl")
+	writeFile(t, file, "r(1).\np(X, <Y>) <- q(X, Y).\nq(X, Y) <- p(X, Y), not r(Y).\n")
+	code, out, _ := runVet(t, file)
+	if code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+	for _, want := range []string{
+		"p -> q -> p",
+		"LDL006",
+		file + ":2:1: error:",
+		file + ":2:1: p > q",
+		file + ":3:1: q ≥ p",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestReplCheck: the REPL's check command prints the engine's diagnostics
+// (uncolored for a non-terminal writer) and malformed queries keep the
+// session alive.
+func TestReplCheck(t *testing.T) {
+	eng, err := ldl1.New("d(1).\ne(2).\npair(X, Y) <- d(X), e(Y).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	in := strings.NewReader("?- p(\n:check\n:quit\n")
+	if err := repl(eng, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "error:") {
+		t.Errorf("malformed query did not report an error:\n%s", s)
+	}
+	if !strings.Contains(s, "LDL108") {
+		t.Errorf("check did not print diagnostics:\n%s", s)
+	}
+	if strings.Contains(s, "\x1b[") {
+		t.Errorf("ANSI colors written to a non-terminal:\n%s", s)
+	}
+
+	clean, err := ldl1.New("d(1).\np(X) <- d(X).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := repl(clean, strings.NewReader("check\n:quit\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ok: no diagnostics") {
+		t.Errorf("clean engine check output:\n%s", out.String())
+	}
+}

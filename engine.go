@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"ldl1/internal/analyze"
 	"ldl1/internal/ast"
 	"ldl1/internal/eval"
 	"ldl1/internal/layering"
@@ -45,6 +46,7 @@ type config struct {
 	workers       int
 	deadline      time.Duration
 	memBudget     int64
+	strict        bool
 }
 
 // WithStrategy selects naive or semi-naive evaluation.
@@ -139,6 +141,11 @@ func NewFromAST(p *ast.Program, opts ...Option) (*Engine, error) {
 	}
 	if _, err := layering.Stratify(compiled); err != nil {
 		return nil, err
+	}
+	if e.cfg.strict {
+		if ds := analyze.Program(p, nil, analyze.Options{}); len(ds) > 0 {
+			return nil, &VetError{Diagnostics: ds}
+		}
 	}
 	e.source = compiled
 	e.edb = store.NewDB()

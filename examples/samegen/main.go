@@ -22,7 +22,7 @@ const program = `
 
 	% young(X, S): X has no descendants and S is everyone in X's generation.
 	% (The paper writes "¬a(X, Z)" with Z free; hasdesc makes it safe.)
-	hasdesc(X) <- a(X, Z).
+	hasdesc(X) <- a(X, _).
 	young(X, <Y>) <- sg(X, Y), not hasdesc(X).
 
 	p(adam, mary). p(adam, pat). p(mary, john). p(pat, jack).

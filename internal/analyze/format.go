@@ -1,0 +1,40 @@
+package analyze
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders diagnostics in the compiler-style one-line form of
+// Diagnostic.String, one per line, with related positions indented
+// beneath their diagnostic:
+//
+//	file.ldl:3:1: error: program is not admissible: ... [LDL006]
+//		file.ldl:3:1: p > q via rule "p(X, <Y>) <- q(X, Y)."
+func Format(ds []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range ds {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+		for _, rel := range d.Related {
+			b.WriteByte('\t')
+			if d.File != "" {
+				b.WriteString(d.File)
+				b.WriteByte(':')
+			}
+			fmt.Fprintf(&b, "%s: %s\n", rel.Pos, rel.Message)
+		}
+	}
+	return b.String()
+}
+
+// ErrorCount returns how many diagnostics have Error severity.
+func ErrorCount(ds []Diagnostic) int {
+	n := 0
+	for _, d := range ds {
+		if d.Severity == Error {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,45 @@
+package analyze
+
+import (
+	goast "go/ast"
+	goparser "go/parser"
+	"go/token"
+	"strings"
+
+	"ldl1/internal/parser"
+)
+
+// GoSource scans a Go source file for embedded LDL1 programs — raw string
+// literals (backquoted, so line counts are faithful) that parse as LDL1
+// and contain at least one rule — and analyzes each, shifting reported
+// positions so they point into the enclosing Go file.  Strings that do not
+// parse as LDL1 are skipped silently: most Go strings are not programs.
+// The error is non-nil only when the Go file itself does not parse.
+func GoSource(filename string, src []byte, opts Options) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	f, err := goparser.ParseFile(fset, filename, src, 0)
+	if err != nil {
+		return nil, err
+	}
+	if opts.File == "" {
+		opts.File = filename
+	}
+	var out []Diagnostic
+	goast.Inspect(f, func(n goast.Node) bool {
+		lit, ok := n.(*goast.BasicLit)
+		if !ok || lit.Kind != token.STRING || !strings.HasPrefix(lit.Value, "`") || len(lit.Value) < 2 {
+			return true
+		}
+		content := lit.Value[1 : len(lit.Value)-1]
+		unit, perr := parser.Parse(content)
+		if perr != nil || len(unit.Program.Rules) == 0 {
+			return true
+		}
+		o := opts
+		// LDL line 1 is on the same file line as the opening backquote.
+		o.LineOffset = fset.Position(lit.Pos()).Line - 1
+		out = append(out, Unit(unit, o)...)
+		return true
+	})
+	return out, nil
+}

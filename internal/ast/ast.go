@@ -15,6 +15,11 @@ type Literal struct {
 	Negated bool
 	Pred    string
 	Args    []term.Term
+	// Pos is the source position of the literal's first token (the "not"
+	// of a negated literal, the left operand of an infix comparison).  It
+	// is metadata only: String, comparison helpers, and evaluation ignore
+	// it, and literals synthesized in Go code leave it zero.
+	Pos Pos
 }
 
 // NewLit builds a positive literal.
@@ -104,6 +109,13 @@ func (l Literal) String() string {
 type Rule struct {
 	Head Literal
 	Body []Literal
+	// Pos is the position of the rule's first token (== Head.Pos for
+	// parsed rules); zero when the rule was built in Go code.
+	Pos Pos
+	// VarPos records the first occurrence of each variable of the rule,
+	// for variable-level diagnostics.  The map is set once by the parser
+	// and treated as immutable afterwards (Clone shares it).
+	VarPos map[term.Var]Pos
 }
 
 // NewRule builds a rule.
@@ -224,7 +236,8 @@ func (p *Program) Clone() *Program {
 }
 
 func cloneRule(r Rule) Rule {
-	nr := Rule{Head: cloneLit(r.Head)}
+	// Pos and the immutable VarPos map are carried over as-is.
+	nr := Rule{Head: cloneLit(r.Head), Pos: r.Pos, VarPos: r.VarPos}
 	nr.Body = make([]Literal, len(r.Body))
 	for i, l := range r.Body {
 		nr.Body[i] = cloneLit(l)
@@ -235,7 +248,7 @@ func cloneRule(r Rule) Rule {
 func cloneLit(l Literal) Literal {
 	args := make([]term.Term, len(l.Args))
 	copy(args, l.Args)
-	return Literal{Negated: l.Negated, Pred: l.Pred, Args: args}
+	return Literal{Negated: l.Negated, Pred: l.Pred, Args: args, Pos: l.Pos}
 }
 
 // WellFormedError describes a violation of the §2.1 well-formedness or §7
@@ -277,6 +290,15 @@ func CheckWellFormed(p *Program) error {
 
 // CheckRuleWellFormed checks a single rule; see CheckWellFormed.
 func CheckRuleWellFormed(r Rule) error {
+	if err := CheckRuleShape(r); err != nil {
+		return err
+	}
+	return CheckRuleSafe(r)
+}
+
+// CheckRuleShape verifies the purely syntactic §2.1 conditions on grouping
+// placement (conditions 1-2 of CheckWellFormed), without the safety check.
+func CheckRuleShape(r Rule) error {
 	fail := func(msg string) error { return &WellFormedError{Rule: r, Msg: msg} }
 	for _, l := range r.Body {
 		if l.HasGroup() {
@@ -300,35 +322,25 @@ func CheckRuleWellFormed(r Rule) error {
 	if groups > 1 {
 		return fail("at most one grouping occurrence is allowed in a rule head (§2.1)")
 	}
-	// Safety (§7): head variables and negated-literal variables must occur
-	// in a positive body literal.
-	bound := map[term.Var]bool{}
-	for _, l := range r.Body {
-		if !l.Negated {
-			for _, v := range l.Vars() {
-				bound[v] = true
-			}
-		}
-	}
-	if !r.IsFact() {
-		for _, v := range r.Head.Vars() {
-			if !bound[v] {
-				return fail("unsafe rule: head variable " + string(v) + " does not appear in a positive body literal (§7)")
-			}
-		}
-		for _, l := range r.Body {
-			if !l.Negated {
-				continue
-			}
-			for _, v := range l.Vars() {
-				if !bound[v] {
-					return fail("unsafe rule: variable " + string(v) + " of negated literal does not appear in a positive body literal (§7)")
-				}
-			}
-		}
-	} else {
-		if len(r.Head.Vars()) > 0 {
+	return nil
+}
+
+// CheckRuleSafe verifies the §2.2/§7 safety restriction using the
+// limited-variable analysis of this package (see safety.go): every head
+// variable — grouped or not — and every variable of a negated body literal
+// must be limited, and facts must be ground.
+func CheckRuleSafe(r Rule) error {
+	fail := func(msg string) error { return &WellFormedError{Rule: r, Msg: msg} }
+	for _, uv := range UnsafeVars(r) {
+		switch uv.Kind {
+		case UnsafeFact:
 			return fail("facts may not contain variables (§7)")
+		case UnsafeGrouped:
+			return fail("unsafe rule: grouped variable " + string(uv.Var) + " is not limited by the rule body (§2.2, §7)")
+		case UnsafeNegated:
+			return fail("unsafe rule: variable " + string(uv.Var) + " of negated literal " + uv.Lit.String() + " is not limited by the positive body (§2.2, §7)")
+		default:
+			return fail("unsafe rule: head variable " + string(uv.Var) + " is not limited by the rule body (§2.2, §7)")
 		}
 	}
 	return nil

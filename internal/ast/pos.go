@@ -1,0 +1,34 @@
+package ast
+
+import "strconv"
+
+// Pos is a source position: 1-based line and column of the first token of a
+// construct, as reported by the lexer.  The zero Pos means "unknown"
+// (programs built in Go code rather than parsed, or rules synthesized by
+// the LDL1.5 rewrite and the magic-sets compiler).
+type Pos struct {
+	Line int `json:"line"`
+	Col  int `json:"col"`
+}
+
+// Known reports whether the position was recorded from source text.
+func (p Pos) Known() bool { return p.Line > 0 }
+
+// String renders "line:col", or "-" for an unknown position.
+func (p Pos) String() string {
+	if !p.Known() {
+		return "-"
+	}
+	return strconv.Itoa(p.Line) + ":" + strconv.Itoa(p.Col)
+}
+
+// Before orders positions textually; unknown positions sort last.
+func (p Pos) Before(q Pos) bool {
+	if p.Known() != q.Known() {
+		return p.Known()
+	}
+	if p.Line != q.Line {
+		return p.Line < q.Line
+	}
+	return p.Col < q.Col
+}

@@ -34,6 +34,47 @@ func IsBuiltin(pred string) bool { return Builtins[pred] }
 type edge struct {
 	to     string
 	strict bool // true for >, false for ≥
+	rule   int  // index into the program's Rules of the inducing rule
+}
+
+// DepEdge is the exported view of one dependency edge: head predicate From
+// depends on body predicate To, strictly (>) when the inducing rule groups
+// in its head or negates the body literal.  RuleIndex identifies the
+// inducing rule in the program's Rules slice, so diagnostics can point at
+// its source position.
+type DepEdge struct {
+	From, To  string
+	Strict    bool
+	RuleIndex int
+}
+
+// Edges returns every dependency edge of the program, in rule order then
+// body-literal order.  Built-in predicates induce no edges.
+func Edges(p *ast.Program) []DepEdge {
+	var out []DepEdge
+	for i, r := range p.Rules {
+		grouping := r.IsGroupingRule()
+		for _, l := range r.Body {
+			if IsBuiltin(l.Pred) {
+				continue
+			}
+			out = append(out, DepEdge{
+				From:      r.Head.Pred,
+				To:        l.Pred,
+				Strict:    grouping || l.Negated,
+				RuleIndex: i,
+			})
+		}
+	}
+	return out
+}
+
+// SCCs returns the strongly connected components of the program's
+// dependency graph, each sorted, in Tarjan emission order (dependencies
+// first).  Singleton components are included; a predicate is recursive iff
+// its component has size > 1 or it has a self edge.
+func SCCs(p *ast.Program) [][]string {
+	return tarjan(buildGraph(p))
 }
 
 // Layering is the result of stratifying an admissible program.
@@ -49,9 +90,43 @@ type Layering struct {
 }
 
 // NotAdmissibleError reports a dependency cycle through a strict edge
-// (grouping or negation), with the offending predicate cycle.
+// (grouping or negation), with the offending predicate cycle.  The cycle
+// is canonical — rotated to its lexicographically smallest form, with the
+// first predicate repeated at the end — so the same program yields the
+// same witness on every run.
 type NotAdmissibleError struct {
 	Cycle []string
+}
+
+// canonicalCycle normalizes a cycle [p1, ..., pk, p1]: it drops the
+// closing repetition, rotates the sequence to the lexicographically
+// smallest of its k rotations, and re-closes it.  Map-order or traversal
+// artifacts in cycle discovery then cannot leak into error text.
+func canonicalCycle(cyc []string) []string {
+	if len(cyc) > 1 && cyc[0] == cyc[len(cyc)-1] {
+		cyc = cyc[:len(cyc)-1]
+	}
+	if len(cyc) == 0 {
+		return cyc
+	}
+	best := 0
+	for cand := 1; cand < len(cyc); cand++ {
+		for off := 0; off < len(cyc); off++ {
+			a := cyc[(cand+off)%len(cyc)]
+			b := cyc[(best+off)%len(cyc)]
+			if a != b {
+				if a < b {
+					best = cand
+				}
+				break
+			}
+		}
+	}
+	out := make([]string, 0, len(cyc)+1)
+	for off := 0; off < len(cyc); off++ {
+		out = append(out, cyc[(best+off)%len(cyc)])
+	}
+	return append(out, out[0])
 }
 
 func (e *NotAdmissibleError) Error() string {
@@ -91,7 +166,7 @@ func Stratify(p *ast.Program) (*Layering, error) {
 				}
 				if stratum[pred] < want {
 					if want > n {
-						return nil, &NotAdmissibleError{Cycle: findCycle(graph, pred)}
+						return nil, &NotAdmissibleError{Cycle: canonicalCycle(findCycle(graph, pred))}
 					}
 					stratum[pred] = want
 					changed = true
@@ -138,7 +213,7 @@ func buildGraph(p *ast.Program) map[string][]edge {
 			graph[pred] = nil
 		}
 	}
-	for _, r := range p.Rules {
+	for i, r := range p.Rules {
 		head := r.Head.Pred
 		touch(head)
 		grouping := r.IsGroupingRule()
@@ -148,7 +223,7 @@ func buildGraph(p *ast.Program) map[string][]edge {
 			}
 			touch(l.Pred)
 			strict := grouping || l.Negated
-			graph[head] = append(graph[head], edge{to: l.Pred, strict: strict})
+			graph[head] = append(graph[head], edge{to: l.Pred, strict: strict, rule: i})
 		}
 	}
 	return graph

@@ -49,10 +49,10 @@ func StratifyFinest(p *ast.Program) (*Layering, error) {
 			if e.strict && stratum[pred] <= stratum[e.to] && comp[pred] != comp[e.to] {
 				// A strict edge within one SCC would have failed
 				// Stratify already.
-				return nil, &NotAdmissibleError{Cycle: []string{pred, e.to, pred}}
+				return nil, &NotAdmissibleError{Cycle: canonicalCycle([]string{pred, e.to, pred})}
 			}
 			if !e.strict && stratum[pred] < stratum[e.to] {
-				return nil, &NotAdmissibleError{Cycle: []string{pred, e.to, pred}}
+				return nil, &NotAdmissibleError{Cycle: canonicalCycle([]string{pred, e.to, pred})}
 			}
 		}
 	}

@@ -63,7 +63,14 @@ type parser struct {
 	toks []lexer.Token
 	pos  int
 	anon int // counter for renaming anonymous variables apart
+	// varPos records the first source occurrence of each variable while a
+	// rule is being parsed (nil outside rule parsing); rule() attaches it
+	// to the produced ast.Rule for variable-level diagnostics.
+	varPos map[term.Var]ast.Pos
 }
+
+// posOf converts a token position to an ast.Pos.
+func posOf(t lexer.Token) ast.Pos { return ast.Pos{Line: t.Line, Col: t.Col} }
 
 // Parse parses LDL1 source text into a Unit.
 func Parse(src string) (*Unit, error) {
@@ -192,6 +199,9 @@ func (p *parser) expect(t lexer.Type) error {
 }
 
 func (p *parser) rule() (ast.Rule, error) {
+	start := p.cur()
+	p.varPos = map[term.Var]ast.Pos{}
+	defer func() { p.varPos = nil }()
 	head, err := p.literal()
 	if err != nil {
 		return ast.Rule{}, err
@@ -199,7 +209,7 @@ func (p *parser) rule() (ast.Rule, error) {
 	if head.Negated {
 		return ast.Rule{}, p.errf("rule head may not be negated")
 	}
-	r := ast.Rule{Head: head}
+	r := ast.Rule{Head: head, Pos: posOf(start), VarPos: p.varPos}
 	if p.at(lexer.Arrow) {
 		p.next()
 		// An empty body before '.' is permitted ("head <- ." is a fact).
@@ -242,6 +252,7 @@ var compPred = map[lexer.Type]string{
 }
 
 func (p *parser) literal() (ast.Literal, error) {
+	start := posOf(p.cur())
 	neg := false
 	if p.at(lexer.Not) {
 		neg = true
@@ -257,13 +268,13 @@ func (p *parser) literal() (ast.Literal, error) {
 		if err != nil {
 			return ast.Literal{}, err
 		}
-		return ast.Literal{Negated: neg, Pred: pred, Args: []term.Term{left, right}}, nil
+		return ast.Literal{Negated: neg, Pred: pred, Args: []term.Term{left, right}, Pos: start}, nil
 	}
 	switch t := left.(type) {
 	case term.Atom:
-		return ast.Literal{Negated: neg, Pred: string(t)}, nil
+		return ast.Literal{Negated: neg, Pred: string(t), Pos: start}, nil
 	case *term.Compound:
-		return ast.Literal{Negated: neg, Pred: t.Functor, Args: t.Args}, nil
+		return ast.Literal{Negated: neg, Pred: t.Functor, Args: t.Args, Pos: start}, nil
 	}
 	return ast.Literal{}, p.errf("expected a predicate, found term %s", left)
 }
@@ -337,11 +348,17 @@ func (p *parser) primary() (term.Term, error) {
 		return term.Str(tok.Text), nil
 	case lexer.Variable:
 		p.next()
+		v := term.Var(tok.Text)
 		if tok.Text == "_" {
 			p.anon++
-			return term.Var(fmt.Sprintf("_G%d", p.anon)), nil
+			v = term.Var(fmt.Sprintf("_G%d", p.anon))
 		}
-		return term.Var(tok.Text), nil
+		if p.varPos != nil {
+			if _, seen := p.varPos[v]; !seen {
+				p.varPos[v] = posOf(tok)
+			}
+		}
+		return v, nil
 	case lexer.Ident:
 		p.next()
 		if !p.at(lexer.LParen) {

@@ -1,0 +1,93 @@
+package parser
+
+import (
+	"testing"
+
+	"ldl1/internal/ast"
+	"ldl1/internal/term"
+)
+
+// TestRulePositions checks the 1-based line/column positions the parser
+// threads onto rules, literals, and first variable occurrences.
+func TestRulePositions(t *testing.T) {
+	src := "d(1).\n" +
+		"big(X) <-\n" +
+		"  d(Y), not e(Y, X).\n"
+	u, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := u.Program.Rules
+	if len(rules) != 2 {
+		t.Fatalf("want 2 rules, got %d", len(rules))
+	}
+	wantPos := func(what string, got, want ast.Pos) {
+		t.Helper()
+		if got != want {
+			t.Errorf("%s at %v, want %v", what, got, want)
+		}
+	}
+	wantPos("fact", rules[0].Pos, ast.Pos{Line: 1, Col: 1})
+	r := rules[1]
+	wantPos("rule", r.Pos, ast.Pos{Line: 2, Col: 1})
+	wantPos("head", r.Head.Pos, ast.Pos{Line: 2, Col: 1})
+	if len(r.Body) != 2 {
+		t.Fatalf("want 2 body literals, got %d", len(r.Body))
+	}
+	wantPos("body[0]", r.Body[0].Pos, ast.Pos{Line: 3, Col: 3})
+	// A negated literal's position is its "not" token.
+	wantPos("body[1]", r.Body[1].Pos, ast.Pos{Line: 3, Col: 9})
+	wantPos("VarPos[X]", r.VarPos[term.Var("X")], ast.Pos{Line: 2, Col: 5})
+	wantPos("VarPos[Y]", r.VarPos[term.Var("Y")], ast.Pos{Line: 3, Col: 5})
+}
+
+// TestInfixLiteralPosition: an infix comparison's position is its left
+// operand, the literal's first token.
+func TestInfixLiteralPosition(t *testing.T) {
+	u, err := Parse("p(X) <- d(X), X < 3.\nd(1).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit := u.Program.Rules[0].Body[1]
+	if lit.Pred != "<" {
+		t.Fatalf("expected comparison literal, got %v", lit)
+	}
+	if (lit.Pos != ast.Pos{Line: 1, Col: 15}) {
+		t.Errorf("comparison at %v, want 1:15", lit.Pos)
+	}
+}
+
+// TestQueryLiteralPositions: query body literals carry positions too.
+func TestQueryLiteralPositions(t *testing.T) {
+	u, err := Parse("d(1).\n?- d(X), d(Y).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Queries) != 1 {
+		t.Fatalf("want 1 query, got %d", len(u.Queries))
+	}
+	q := u.Queries[0]
+	if (q.Body[0].Pos != ast.Pos{Line: 2, Col: 4}) {
+		t.Errorf("first query literal at %v, want 2:4", q.Body[0].Pos)
+	}
+	if (q.Body[1].Pos != ast.Pos{Line: 2, Col: 10}) {
+		t.Errorf("second query literal at %v, want 2:10", q.Body[1].Pos)
+	}
+}
+
+// TestClonePreservesPositions: engine pipelines clone programs; positions
+// and the shared VarPos map must survive.
+func TestClonePreservesPositions(t *testing.T) {
+	u, err := Parse("p(X) <- q(X).\nq(1).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := u.Program.Clone()
+	r, cr := u.Program.Rules[0], c.Rules[0]
+	if cr.Pos != r.Pos || cr.Head.Pos != r.Head.Pos || cr.Body[0].Pos != r.Body[0].Pos {
+		t.Error("clone dropped positions")
+	}
+	if cr.VarPos[term.Var("X")] != r.VarPos[term.Var("X")] {
+		t.Error("clone dropped VarPos")
+	}
+}

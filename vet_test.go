@@ -1,0 +1,81 @@
+package ldl1
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func hasCode(ds []Diagnostic, code string) bool {
+	for _, d := range ds {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+func TestVet(t *testing.T) {
+	ds := Vet("d(1).\ne(2).\npair(X, Y) <- d(X), e(Y).\n")
+	if !hasCode(ds, "LDL108") {
+		t.Errorf("cartesian join not reported: %v", ds)
+	}
+	for _, d := range ds {
+		if d.Severity == SeverityError {
+			t.Errorf("legal program got an error diagnostic: %v", d)
+		}
+	}
+
+	ds = Vet("big(X) <- d(Y), Y < X.\nd(1).\n")
+	if !hasCode(ds, "LDL001") {
+		t.Errorf("unsafe head variable not reported: %v", ds)
+	}
+
+	ds = Vet("p(X <- q(X).")
+	if !hasCode(ds, "LDL000") {
+		t.Errorf("syntax error should become an LDL000 diagnostic: %v", ds)
+	}
+
+	if ds := Vet("d(1).\np(X) <- d(X).\n"); len(ds) != 0 {
+		t.Errorf("clean program got diagnostics: %v", ds)
+	}
+}
+
+func TestEngineVet(t *testing.T) {
+	eng, err := New("d(1).\np(X) <- edb(X).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := eng.Vet(); !hasCode(ds, "LDL102") {
+		t.Errorf("undefined predicate not reported before facts arrive: %v", ds)
+	}
+	if err := eng.AddFacts("edb(7)."); err != nil {
+		t.Fatal(err)
+	}
+	if ds := eng.Vet(); hasCode(ds, "LDL102") {
+		t.Errorf("extensional predicate still reported undefined: %v", ds)
+	}
+}
+
+func TestWithStrict(t *testing.T) {
+	// A warning (cartesian join) is enough to fail strict construction.
+	_, err := New("d(1).\ne(2).\npair(X, Y) <- d(X), e(Y).\n", WithStrict())
+	var ve *VetError
+	if !errors.As(err, &ve) {
+		t.Fatalf("want *VetError, got %v", err)
+	}
+	if len(ve.Diagnostics) == 0 || !strings.Contains(ve.Error(), "LDL108") {
+		t.Errorf("VetError should carry the diagnostics: %v", ve)
+	}
+
+	if _, err := New("d(1).\np(X) <- d(X).\n", WithStrict()); err != nil {
+		t.Errorf("clean program rejected under strict: %v", err)
+	}
+
+	// Errors the engine itself detects keep their established types even
+	// under strict mode.
+	_, err = New("p(X, <Y>) <- q(X, Y).\nq(X, Y) <- p(X, Y).\nq(1, 2).", WithStrict())
+	if err == nil || errors.As(err, &ve) {
+		t.Errorf("admissibility failure should not be converted to VetError: %v", err)
+	}
+}
