@@ -112,11 +112,11 @@ func run() error {
 			return fmt.Errorf("-explain needs a query")
 		}
 		for _, q := range queries {
-			adorned, rewritten, err := eng.ExplainQuery(strings.TrimSuffix(strings.TrimPrefix(q.String(), "?- "), "."))
+			adorned, rewritten, plan, err := eng.ExplainQuery(strings.TrimSuffix(strings.TrimPrefix(q.String(), "?- "), "."))
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%% adorned program for %s\n%s\n%% magic-rewritten program\n%s\n", q, adorned, rewritten)
+			fmt.Printf("%% adorned program for %s\n%s\n%% magic-rewritten program\n%s\n%% join plan\n%s", q, adorned, rewritten, plan)
 		}
 		return nil
 	}

@@ -12,7 +12,27 @@ import (
 
 	"ldl1"
 	"ldl1/internal/lderr"
+	"ldl1/internal/parser"
 )
+
+// parseExecArgs parses the comma-separated constants of an :exec line by
+// wrapping them in a dummy literal, so commas nested inside compound terms
+// and sets parse correctly.
+func parseExecArgs(s string) ([]ldl1.Term, error) {
+	if s == "" {
+		return nil, nil
+	}
+	q, err := parser.ParseQuery("exec(" + s + ")")
+	if err != nil {
+		return nil, fmt.Errorf("bad :exec arguments: %w", err)
+	}
+	lit := q.Body[0]
+	out := make([]ldl1.Term, len(lit.Args))
+	for i, a := range lit.Args {
+		out[i] = a
+	}
+	return out, nil
+}
 
 // repl runs an interactive query loop against the engine.  Lines are
 // queries ("ancestor(abe, W)" or "?- ancestor(abe, W)."); assert/retract
@@ -23,6 +43,9 @@ import (
 //	retract f(a, b).   remove extensional facts, update the model in place
 //	:assert f(a, b).   add an extensional fact (full re-evaluation on query)
 //	:explain f(a, b)   print a proof tree for a fact in the model
+//	:prepare q(a, X)   compile a query once for repeated execution
+//	:exec b, c         run the prepared query with new constants (no args
+//	                   re-runs the original ones)
 //	:model             print the whole minimal model
 //	:strata            print the layering
 //	:check             run the static analyzer over the loaded program
@@ -71,6 +94,8 @@ func repl(eng *ldl1.Engine, in io.Reader, out io.Writer) error {
 	// The materialized view is built on first assert/retract; afterwards
 	// queries and :model read its incrementally maintained snapshot.
 	var mat *ldl1.Materialized
+	// The current :prepare handle, run by :exec.
+	var prep *ldl1.PreparedQuery
 	materialize := func() (*ldl1.Materialized, error) {
 		if mat == nil {
 			m, err := eng.Materialize()
@@ -118,7 +143,7 @@ func repl(eng *ldl1.Engine, in io.Reader, out io.Writer) error {
 		case line == ":quit" || line == ":q":
 			return nil
 		case line == ":help":
-			fmt.Fprintln(out, "assert <fact>.  retract <fact>.  :assert <fact>.  :explain <fact>  :model  :strata  :check  :quit")
+			fmt.Fprintln(out, "assert <fact>.  retract <fact>.  :assert <fact>.  :explain <fact>  :prepare <query>  :exec <consts>  :model  :strata  :check  :quit")
 		case line == ":check" || line == "check":
 			ds := eng.Vet()
 			if len(ds) == 0 {
@@ -162,6 +187,36 @@ func repl(eng *ldl1.Engine, in io.Reader, out io.Writer) error {
 			if err := eng.AddFacts(src); err != nil {
 				fmt.Fprintln(out, "error:", err)
 			}
+		case strings.HasPrefix(line, ":prepare "):
+			q := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(line, ":prepare "), "."))
+			p, err := eng.Prepare(q)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			prep = p
+			fmt.Fprintf(out, "prepared: %s (%d parameter(s); run with :exec)\n", q, p.NumArgs())
+		case line == ":exec" || strings.HasPrefix(line, ":exec "):
+			if prep == nil {
+				fmt.Fprintln(out, "error: no prepared query; use :prepare first")
+				continue
+			}
+			args, err := parseExecArgs(strings.TrimSpace(strings.TrimPrefix(line, ":exec")))
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			var ans *ldl1.Answers
+			err = interruptible(func(ctx context.Context) error {
+				var err error
+				ans, err = prep.ExecCtx(ctx, args...)
+				return err
+			})
+			if err != nil {
+				report(err)
+				continue
+			}
+			fmt.Fprintln(out, ans)
 		case strings.HasPrefix(line, ":explain "):
 			fact := strings.TrimSuffix(strings.TrimPrefix(line, ":explain "), ".")
 			why, err := eng.Explain(fact)

@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
+	"ldl1"
 	"ldl1/internal/ast"
 	"ldl1/internal/eval"
 	"ldl1/internal/incr"
@@ -31,11 +33,11 @@ import (
 
 // benchResult is one row of the JSON report.
 type benchResult struct {
-	ID          string  `json:"id"`
-	Name        string  `json:"name"`
-	NsPerOp     int64   `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
+	ID          string `json:"id"`
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
 	// DerivedFacts is the number of facts one operation derives;
 	// FactsPerSec = DerivedFacts / (NsPerOp in seconds).  Both are 0 for
 	// operations that derive nothing (model checking).
@@ -54,6 +56,11 @@ type benchResult struct {
 	DeletedOverestimate int64 `json:"deleted_overestimate"`
 	Rederived           int64 `json:"rederived"`
 	RegroupedClasses    int64 `json:"regrouped_classes"`
+	// Planner and cache counters (v4): rule bodies whose cost-based join
+	// order diverged from the static order, and magic-answer cache hits
+	// (nonzero only for the q* prepared-query entries).
+	PlansReordered int64 `json:"plans_reordered"`
+	CacheHits      int64 `json:"cache_hits"`
 }
 
 type benchReport struct {
@@ -78,6 +85,70 @@ func evalOp(p *ast.Program, db *store.DB, strat eval.Strategy) func(context.Cont
 		_, err := eval.Eval(p, db, eval.Options{Strategy: strat, Stats: &st, Ctx: ctx})
 		return st, err
 	}
+}
+
+// evalOpStatic pins the static (source-preferring) join order; paired with
+// evalOp on the same program it isolates what cost-based reordering buys.
+func evalOpStatic(p *ast.Program, db *store.DB, strat eval.Strategy) func(context.Context) (eval.Stats, error) {
+	return func(ctx context.Context) (eval.Stats, error) {
+		var st eval.Stats
+		_, err := eval.Eval(p, db, eval.Options{Strategy: strat, Stats: &st, Ctx: ctx, NoReorder: true})
+		return st, err
+	}
+}
+
+// queryEngine builds a magic engine over src plus an extensional database,
+// returning the engine and its stats sink (reset by each op run).
+func queryEngine(src string, db *store.DB, opts ...ldl1.Option) (*ldl1.Engine, *eval.Stats, error) {
+	var st eval.Stats
+	eng, err := ldl1.New(src, append([]ldl1.Option{ldl1.WithMagic(true), ldl1.WithStats(&st)}, opts...)...)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng.AddDB(db)
+	return eng, &st, nil
+}
+
+// preparedOp is the prepared side of a q* pair: the query is compiled once
+// with Prepare, and one operation re-executes it for every constant, so
+// repeats after the first run answer from the magic-answer cache.
+func preparedOp(src string, db *store.DB, query string, consts []string) (func(context.Context) (eval.Stats, error), error) {
+	eng, st, err := queryEngine(src, db)
+	if err != nil {
+		return nil, err
+	}
+	pq, err := eng.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return func(ctx context.Context) (eval.Stats, error) {
+		*st = eval.Stats{}
+		for _, c := range consts {
+			if _, err := pq.ExecCtx(ctx, ldl1.Sym(c)); err != nil {
+				return *st, err
+			}
+		}
+		return *st, nil
+	}, nil
+}
+
+// unpreparedOp is the baseline side: the same lookups issued through
+// QueryCtx on a cache-disabled engine, so every call re-parses, re-rewrites,
+// and re-evaluates the magic program.
+func unpreparedOp(src string, db *store.DB, queryFmt string, consts []string) (func(context.Context) (eval.Stats, error), error) {
+	eng, st, err := queryEngine(src, db, ldl1.WithoutQueryCache())
+	if err != nil {
+		return nil, err
+	}
+	return func(ctx context.Context) (eval.Stats, error) {
+		*st = eval.Stats{}
+		for _, c := range consts {
+			if _, err := eng.QueryCtx(ctx, fmt.Sprintf(queryFmt, c)); err != nil {
+				return *st, err
+			}
+		}
+		return *st, nil
+	}, nil
 }
 
 // incrOp replays an update stream through a materialized view: one initial
@@ -180,6 +251,11 @@ func benchEntries() ([]benchEntry, error) {
 	}
 
 	churnProg := parse(churnRules)
+	// j2 adversarial variant: the source order leads with the 4096-row wide
+	// relation (nothing bound), so the static planner scans it in full; the
+	// cost planner starts from the 48-row dim probe and reaches wide with
+	// its selective (G, T) pair bound.
+	wideBadProg := parse(`sel2(G, P) <- wide(G, T, P, W), dim(G, T).`)
 	bookProg := parse(`book_deal({X, Y, Z}) <- book(X, Px), book(Y, Py), book(Z, Pz), Px + Py + Pz < 100.`)
 	suppliesProg := parse(`supplies(S, <P>) <- sp(S, P).`)
 	partCostProg := parse(partCostRules)
@@ -187,6 +263,31 @@ func benchEntries() ([]benchEntry, error) {
 	wideProg := parse(`sel(G, P) <- dim(G, T), wide(G, T, P, W).`)
 	if setupErr != nil {
 		return nil, setupErr
+	}
+
+	// q* point-lookup constants: eight values cycled per operation.
+	q1consts := []string{"n8", "n49", "n90", "n131", "n172", "n213", "n254", "n0"}
+	q2consts := []string{"n512", "n575", "n638", "n701", "n764", "n827", "n890", "n953"}
+	const sgRules = `
+		sib(X, Y) <- parent(P, X), parent(P, Y).
+		sg(X, Y) <- sib(X, Y).
+		sg(X, Y) <- parent(P1, X), sg(P1, P2), parent(P2, Y).
+	`
+	q1prep, err := preparedOp(ancestorRules, workload.ParentChain(256), "ancestor(n0, W)", q1consts)
+	if err != nil {
+		return nil, err
+	}
+	q1unprep, err := unpreparedOp(ancestorRules, workload.ParentChain(256), "ancestor(%s, W)", q1consts)
+	if err != nil {
+		return nil, err
+	}
+	q2prep, err := preparedOp(sgRules, workload.ParentTree(9), "sg(n512, W)", q2consts)
+	if err != nil {
+		return nil, err
+	}
+	q2unprep, err := unpreparedOp(sgRules, workload.ParentTree(9), "sg(%s, W)", q2consts)
+	if err != nil {
+		return nil, err
 	}
 
 	entries := []benchEntry{
@@ -235,6 +336,19 @@ func benchEntries() ([]benchEntry, error) {
 			evalOp(triangleProg, workload.Graph(96, 4, 13), eval.SemiNaive)},
 		{"j2", "wide-selective-join-4096",
 			evalOp(wideProg, workload.WideSelective(4096, 48, 8, 17), eval.SemiNaive)},
+		// j2 adversarial pair (v4): same join with the relations in the bad
+		// source order, evaluated with cost-based reordering on and off.
+		{"j2", "wide-srcbad-cost-4096",
+			evalOp(wideBadProg, workload.WideSelective(4096, 48, 8, 17), eval.SemiNaive)},
+		{"j2", "wide-srcbad-static-4096",
+			evalOpStatic(wideBadProg, workload.WideSelective(4096, 48, 8, 17), eval.SemiNaive)},
+		// Prepared-query workloads (v4): eight point lookups per operation,
+		// Prepare+ExecCtx with the answer cache versus per-call QueryCtx on
+		// a cache-disabled engine.
+		{"q1", "anc-point-prepared-chain256", q1prep},
+		{"q1", "anc-point-unprepared-chain256", q1unprep},
+		{"q2", "sg-point-prepared-tree9", q2prep},
+		{"q2", "sg-point-unprepared-tree9", q2unprep},
 		// Update-stream workloads (v3): each op replays a transaction
 		// stream, incrementally (materialize once, Apply per tx) versus by
 		// full recomputation after every tx.  Paired entries share an id so
@@ -275,21 +389,23 @@ func benchEntries() ([]benchEntry, error) {
 	return entries, nil
 }
 
-// runBenchJSON times every entry and writes the report to path. Each
-// entry is timed reps times and the fastest repetition is reported:
-// evaluation is deterministic, so the minimum is the run least disturbed
-// by scheduler noise (which only ever adds time).  timeout > 0 bounds
-// every operation run; an entry that exceeds it is reported as skipped and
-// the remaining entries still execute.
-func runBenchJSON(path string, reps int, timeout time.Duration) error {
+// runBenchJSON times every entry and writes the report to path, returning
+// it for optional comparison.  Each entry is timed reps times and the
+// fastest repetition is reported: evaluation is deterministic, so the
+// minimum is the run least disturbed by scheduler noise (which only ever
+// adds time).  timeout > 0 bounds every operation run; an entry that
+// exceeds it is reported as skipped and the remaining entries still
+// execute.  filter, when nonempty, restricts the run to entries whose id
+// starts with it ("q" selects q1 and q2).
+func runBenchJSON(path string, reps int, timeout time.Duration, filter string) (*benchReport, error) {
 	// Fail on an unwritable path now, not after minutes of timing.
 	out, err := os.Create(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer out.Close()
 	report := benchReport{
-		Version:   3, // v3 adds the incremental-maintenance counters per row
+		Version:   4, // v4 adds the planner/cache counters and the q*/j2 pairs
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -308,16 +424,26 @@ func runBenchJSON(path string, reps int, timeout time.Duration) error {
 	}
 	entries, err := benchEntries()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	for _, e := range entries {
-		st, err := runOp(e) // warm-up; also yields the per-op counters
+		if filter != "" && !strings.HasPrefix(e.id, filter) {
+			continue
+		}
+		_, err := runOp(e) // warm-up: fills prepared/answer caches
 		if errors.Is(err, lderr.DeadlineExceeded) {
 			fmt.Printf("%-4s %-30s SKIPPED: exceeded -timeout %v\n", e.id, e.name, timeout)
 			continue
 		}
 		if err != nil {
-			return fmt.Errorf("%s/%s: %w", e.id, e.name, err)
+			return nil, fmt.Errorf("%s/%s: %w", e.id, e.name, err)
+		}
+		// Steady-state counters: a second run after the warm-up, so the q*
+		// prepared entries report their cache-hit profile (the warm-up run
+		// is all misses) and match what the timing loop below measures.
+		st, err := runOp(e)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", e.id, e.name, err)
 		}
 		var r testing.BenchmarkResult
 		var opErr error
@@ -340,7 +466,7 @@ func runBenchJSON(path string, reps int, timeout time.Duration) error {
 			continue
 		}
 		if opErr != nil {
-			return fmt.Errorf("%s/%s: %w", e.id, e.name, opErr)
+			return nil, fmt.Errorf("%s/%s: %w", e.id, e.name, opErr)
 		}
 		row := benchResult{
 			ID:                  e.id,
@@ -354,6 +480,8 @@ func runBenchJSON(path string, reps int, timeout time.Duration) error {
 			DeletedOverestimate: int64(st.DeletedOverestimate),
 			Rederived:           int64(st.Rederived),
 			RegroupedClasses:    int64(st.RegroupedClasses),
+			PlansReordered:      int64(st.PlansReordered),
+			CacheHits:           int64(st.CacheHits),
 		}
 		if st.Derived > 0 && r.NsPerOp() > 0 {
 			row.FactsPerSec = float64(st.Derived) * 1e9 / float64(r.NsPerOp())
@@ -364,10 +492,10 @@ func runBenchJSON(path string, reps int, timeout time.Duration) error {
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if _, err := out.Write(append(data, '\n')); err != nil {
-		return err
+		return nil, err
 	}
-	return out.Close()
+	return &report, out.Close()
 }

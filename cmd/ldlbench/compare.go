@@ -1,0 +1,81 @@
+package main
+
+// Benchmark comparison mode: `ldlbench -bench new.json -compare BENCH_4.json`
+// diffs the fresh run against a committed snapshot by entry name and renders
+// a markdown table.  Entries slower by more than compareThreshold are
+// flagged; the comparison is informational and never fails the run, so CI
+// can surface drift without gating merges on timing noise.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// compareThreshold is the relative ns/op slowdown (new vs old) above which
+// an entry is flagged.
+const compareThreshold = 0.20
+
+func loadBenchReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// compareBench prints the diff table to stdout and, when the
+// GITHUB_STEP_SUMMARY environment variable names a file (as it does inside
+// a GitHub Actions step), appends the same markdown there so the comparison
+// lands in the job summary.
+func compareBench(cur *benchReport, oldPath string) error {
+	old, err := loadBenchReport(oldPath)
+	if err != nil {
+		return err
+	}
+	byName := make(map[string]benchResult, len(old.Results))
+	for _, r := range old.Results {
+		byName[r.Name] = r
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### ldlbench vs %s (v%d)\n\n", filepath.Base(oldPath), old.Version)
+	sb.WriteString("| id | name | old ns/op | new ns/op | delta | |\n")
+	sb.WriteString("|----|------|----------:|----------:|------:|---|\n")
+	flagged := 0
+	for _, r := range cur.Results {
+		o, ok := byName[r.Name]
+		if !ok || o.NsPerOp == 0 {
+			fmt.Fprintf(&sb, "| %s | %s | — | %d | new | |\n", r.ID, r.Name, r.NsPerOp)
+			continue
+		}
+		d := float64(r.NsPerOp-o.NsPerOp) / float64(o.NsPerOp)
+		mark := ""
+		if d > compareThreshold {
+			mark = "⚠ slower"
+			flagged++
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %d | %d | %+.1f%% | %s |\n", r.ID, r.Name, o.NsPerOp, r.NsPerOp, 100*d, mark)
+	}
+	if flagged > 0 {
+		fmt.Fprintf(&sb, "\n%d entries exceed the %.0f%% threshold — timing noise or a real regression; not gating.\n",
+			flagged, 100*compareThreshold)
+	}
+	fmt.Print(sb.String())
+	if p := os.Getenv("GITHUB_STEP_SUMMARY"); p != "" {
+		f, err := os.OpenFile(p, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := f.WriteString(sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -502,7 +502,7 @@ func runE15() error {
 	if err != nil {
 		return err
 	}
-	adorned, rewritten, err := eng.ExplainQuery("young(john, S)")
+	adorned, rewritten, _, err := eng.ExplainQuery("young(john, S)")
 	if err != nil {
 		return err
 	}

@@ -50,13 +50,22 @@ func main() {
 		bench   = flag.String("bench", "", "time the perf experiments and write a JSON report to this file")
 		reps    = flag.Int("reps", 3, "with -bench: timing repetitions per entry; the fastest is reported")
 		timeout = flag.Duration("timeout", 0, "with -bench: per-operation deadline; entries exceeding it are skipped (0 = none)")
+		filter  = flag.String("filter", "", "with -bench: only run entries whose id starts with this prefix (e.g. q)")
+		compare = flag.String("compare", "", "with -bench: diff the run against this committed snapshot (non-gating)")
 	)
 	flag.Parse()
 
 	if *bench != "" {
-		if err := runBenchJSON(*bench, *reps, *timeout); err != nil {
+		report, err := runBenchJSON(*bench, *reps, *timeout, *filter)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
+		}
+		if *compare != "" {
+			if err := compareBench(report, *compare); err != nil {
+				fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

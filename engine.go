@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"ldl1/internal/analyze"
@@ -12,6 +13,7 @@ import (
 	"ldl1/internal/layering"
 	"ldl1/internal/magic"
 	"ldl1/internal/parser"
+	"ldl1/internal/qcache"
 	"ldl1/internal/rewrite"
 	"ldl1/internal/store"
 	"ldl1/internal/term"
@@ -42,6 +44,8 @@ type config struct {
 	supplementary bool
 	noIndexes     bool
 	noRewrite     bool
+	noReorder     bool
+	noQueryCache  bool
 	limit         int
 	workers       int
 	deadline      time.Duration
@@ -98,17 +102,45 @@ func WithMemBudget(bytes int64) Option { return func(c *config) { c.memBudget = 
 // WithoutIndexes disables per-column hash indexes (for ablation).
 func WithoutIndexes() Option { return func(c *config) { c.noIndexes = true } }
 
+// WithoutReorder disables the cost-based join planner: body literals run in
+// the static most-bound-columns order of the seed engine.  The computed
+// answers are identical; only the join schedule (and hence FullScans /
+// IndexHits) changes.  An ablation switch for benchmarks.
+func WithoutReorder() Option { return func(c *config) { c.noReorder = true } }
+
+// WithoutQueryCache disables both the prepared-form LRU and the
+// magic-answer cache on the Query path: every query recompiles and
+// re-evaluates from scratch.  An ablation switch for benchmarks; Prepare
+// still works and still skips recompilation through its own handle.
+func WithoutQueryCache() Option { return func(c *config) { c.noQueryCache = true } }
+
 // WithoutRewrite disables the automatic LDL1.5 → LDL1 compilation; programs
 // using §4 constructs are then rejected by the well-formedness check.
 func WithoutRewrite() Option { return func(c *config) { c.noRewrite = true } }
 
 // Engine holds a checked LDL1 program plus its extensional database.
+//
+// Concurrency: fact loading (AddFact, AddFacts, AddDB) takes a write lock;
+// Run, Query, and prepared-handle Exec evaluate under a read lock, so
+// queries may run concurrently with each other and are serialized against
+// loads.  The prepared-form LRU and the answer cache carry their own locks
+// and publish only fully built, immutable entries.
 type Engine struct {
 	cfg      config
 	source   *ast.Program // program as written (after LDL1.5 expansion)
 	original *ast.Program // program as written, before expansion
+	mu       sync.RWMutex // guards edb mutation and model memoization vs evaluation
 	edb      *store.DB
 	model    *store.DB // memoized Run result
+
+	// prep is the LRU of compiled query forms keyed by (predicate,
+	// adornment); cache memoizes magic answers keyed additionally by the
+	// bound constants.  Both are nil under WithoutQueryCache.
+	prep  *prepLRU
+	cache *qcache.Cache
+	// deps is the head → body predicate adjacency of the compiled program,
+	// for dependency-cone computation at cache-fill time.
+	deps map[string][]string
 }
 
 // New parses an LDL1 (or LDL1.5) program — rules and facts — compiles any
@@ -150,13 +182,26 @@ func NewFromAST(p *ast.Program, opts ...Option) (*Engine, error) {
 	e.source = compiled
 	e.edb = store.NewDB()
 	e.edb.UseIndexes = !e.cfg.noIndexes
+	if !e.cfg.noQueryCache {
+		e.prep = newPrepLRU(preparedCap)
+		e.cache = qcache.New(answerCacheCap)
+	}
+	e.deps = map[string][]string{}
+	for _, ed := range layering.Edges(compiled) {
+		e.deps[ed.From] = append(e.deps[ed.From], ed.To)
+	}
 	return e, nil
 }
 
 // AddFact inserts one extensional fact.
 func (e *Engine) AddFact(f *Fact) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.model = nil
 	e.edb.Insert(f)
+	if e.cache != nil {
+		e.cache.Invalidate(f.Pred)
+	}
 }
 
 // AddFacts inserts facts given as LDL1 source text ("parent(a, b). ...").
@@ -177,8 +222,13 @@ func (e *Engine) AddFacts(src string) error {
 // AddDB inserts every fact of a prebuilt database (e.g. from the workload
 // generators used in benchmarks).
 func (e *Engine) AddDB(db *store.DB) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.model = nil
 	e.edb.AddAll(db)
+	if e.cache != nil {
+		e.cache.Invalidate(db.Preds()...)
+	}
 }
 
 // Program returns the compiled program text (after LDL1.5 expansion).
@@ -209,6 +259,7 @@ func (e *Engine) evalOpts(ctx context.Context) eval.Options {
 		MaxDerived: e.cfg.limit,
 		Workers:    e.cfg.workers,
 		MemBudget:  e.cfg.memBudget,
+		NoReorder:  e.cfg.noReorder,
 		Ctx:        ctx,
 	}
 }
@@ -237,6 +288,14 @@ func (e *Engine) Run() (*Model, error) {
 // lderr.DeadlineExceeded, the extensional database is unchanged, and no
 // partial model is memoized.
 func (e *Engine) RunCtx(ctx context.Context) (*Model, error) {
+	e.mu.RLock()
+	m := e.model
+	e.mu.RUnlock()
+	if m != nil {
+		return &Model{db: m}, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.model == nil {
 		ctx, cancel := e.withDeadline(ctx)
 		defer cancel()
@@ -265,17 +324,11 @@ func (e *Engine) QueryCtx(ctx context.Context, q string) (*Answers, error) {
 		return nil, err
 	}
 	if e.cfg.magic && len(query.Body) == 1 && e.isDerived(query.Body[0].Pred) {
-		variant := magic.Basic
-		if e.cfg.supplementary {
-			variant = magic.Supplementary
-		}
-		ctx, cancel := e.withDeadline(ctx)
-		defer cancel()
-		res, err := magic.AnswerVariant(e.source, e.edb, query, e.evalOpts(ctx), variant)
+		sols, err := e.magicQuery(ctx, query)
 		if err != nil {
 			return nil, err
 		}
-		return newAnswers(query, res.Solutions), nil
+		return newAnswers(query, sols), nil
 	}
 	m, err := e.RunCtx(ctx)
 	if err != nil {
@@ -299,22 +352,25 @@ func (e *Engine) isDerived(pred string) bool {
 	return false
 }
 
-// ExplainQuery returns the §6 compilation artifacts for a query: the
-// adorned program and the magic-rewritten rules, in the paper's notation.
-func (e *Engine) ExplainQuery(q string) (adorned, rewritten string, err error) {
+// ExplainQuery returns the compilation artifacts for a query: the adorned
+// program and the magic-rewritten rules in the paper's §6 notation, plus
+// the cost-based join plan the evaluator would run — for every rule in the
+// query's dependency cone, the literal execution order with the planner's
+// bound columns and candidate estimates against the current database.
+func (e *Engine) ExplainQuery(q string) (adorned, rewritten, plan string, err error) {
 	query, err := parser.ParseQuery(q)
 	if err != nil {
-		return "", "", err
+		return "", "", "", err
 	}
 	ap, err := magic.Adorn(e.source, query)
 	if err != nil {
-		return "", "", err
+		return "", "", "", err
 	}
 	rw, err := magic.Rewrite(ap)
 	if err != nil {
-		return "", "", err
+		return "", "", "", err
 	}
-	return ap.String(), rw.Program.String(), nil
+	return ap.String(), rw.Program.String(), e.planString(query), nil
 }
 
 // Model is a computed minimal model: a finite set of U-facts.

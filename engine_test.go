@@ -197,7 +197,7 @@ func TestEngineExplainQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	adorned, rewritten, err := eng.ExplainQuery("anc(a, W)")
+	adorned, rewritten, plan, err := eng.ExplainQuery("anc(a, W)")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,6 +206,9 @@ func TestEngineExplainQuery(t *testing.T) {
 	}
 	if !strings.Contains(rewritten, "magic__anc__bf(a).") {
 		t.Errorf("rewritten = %s", rewritten)
+	}
+	if !strings.Contains(plan, "par(X, Y)") {
+		t.Errorf("plan = %s", plan)
 	}
 }
 

@@ -61,7 +61,7 @@ func main() {
 	fmt.Println(mans)
 	fmt.Printf("facts derived: %d (same answers, a fraction of the work)\n\n", magicStats.Derived)
 
-	adorned, rewritten, err := baseline.ExplainQuery("young(john, S)")
+	adorned, rewritten, _, err := baseline.ExplainQuery("young(john, S)")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -54,6 +54,15 @@ type Stats struct {
 	// RegroupedClasses counts ≡-equivalence classes of grouping rules
 	// invalidated and regrouped by incremental maintenance.
 	RegroupedClasses int
+	// PlansReordered counts compiled body plans where the cost model chose
+	// a different join order than the static most-bound-columns heuristic.
+	PlansReordered int
+	// EstimatedRows sums the cost model's per-step candidate estimates over
+	// all compiled plans — the planner's view of how much work it scheduled.
+	EstimatedRows int64
+	// CacheHits counts queries answered from the engine's magic-answer
+	// cache without any evaluation.
+	CacheHits int
 }
 
 // Merge adds the counters of other into s — the single-threaded merge point
@@ -71,6 +80,9 @@ func (s *Stats) Merge(other *Stats) {
 	s.DeletedOverestimate += other.DeletedOverestimate
 	s.Rederived += other.Rederived
 	s.RegroupedClasses += other.RegroupedClasses
+	s.PlansReordered += other.PlansReordered
+	s.EstimatedRows += other.EstimatedRows
+	s.CacheHits += other.CacheHits
 }
 
 // Options configures evaluation.
@@ -106,6 +118,11 @@ type Options struct {
 	// rounds, so the computed model is unchanged).  Ignored when
 	// Provenance is set.
 	Workers int
+	// NoReorder disables the cost-based join planner and falls back to the
+	// static most-bound-columns literal order — the ablation switch for
+	// benchmarks and for reproducing pre-cost plans.  The computed model is
+	// identical either way; only the join schedule differs.
+	NoReorder bool
 }
 
 // LimitError reports that evaluation exceeded Options.MaxDerived.  It is
@@ -159,6 +176,7 @@ func EvalGroups(groups [][]ast.Rule, db *store.DB, opts Options) error {
 		db: db, stats: opts.Stats, prov: opts.Provenance, deltaSlot: -1,
 		maxDerived: opts.MaxDerived, memBudget: opts.MemBudget,
 		ctx: opts.Ctx, breach: new(atomic.Bool), workers: workers,
+		noReorder: opts.NoReorder,
 	}
 	for _, rules := range groups {
 		if err := ex.checkCtx(); err != nil {
@@ -263,10 +281,50 @@ type exec struct {
 	roundBase int
 	// workers > 1 enables parallel rounds.
 	workers int
+	// noReorder pins the static literal order; see Options.NoReorder.
+	noReorder bool
 	// access-path counters, accumulated locally (workers have no stats
 	// sink) and flushed into stats by EvalGroups / the round merge.
 	idxHits   int
 	fullScans int
+}
+
+// plan compiles a body plan for evaluation against ex.db: cost-based by
+// default, static under Options.NoReorder.  Planner decisions are charged
+// to the stats sink here — plans are always compiled on the merge thread,
+// never inside parallel workers.
+func (ex *exec) plan(r ast.Rule, forcedFirst int) (*bodyPlan, error) {
+	db := ex.db
+	if ex.noReorder {
+		db = nil
+	}
+	p, err := planBodyDB(r, forcedFirst, nil, db)
+	if err != nil {
+		return nil, err
+	}
+	if ex.stats != nil {
+		if p.reordered {
+			ex.stats.PlansReordered++
+		}
+		ex.stats.EstimatedRows += p.estRows
+	}
+	return p, nil
+}
+
+// replannable reports whether re-running the cost model against grown
+// relations could ever change the plan: only when the body offers a choice,
+// i.e. at least two positive database literals besides the forced delta
+// occurrence.  Single-choice bodies (the overwhelmingly common case for
+// rewrite-generated rules) are planned once and kept.
+func replannable(r ast.Rule, forcedFirst int) bool {
+	n := 0
+	for i, l := range r.Body {
+		if i == forcedFirst || l.Negated || layering.IsBuiltin(l.Pred) {
+			continue
+		}
+		n++
+	}
+	return n >= 2
 }
 
 func (ex *exec) bumpIter() {
@@ -403,17 +461,34 @@ func (ex *exec) evalLayer(rules []ast.Rule, strat Strategy) error {
 func (ex *exec) naiveFixpoint(rules []ast.Rule) error {
 	plans := make([]*bodyPlan, len(rules))
 	for i, r := range rules {
-		p, err := planBody(r, -1, nil)
+		p, err := ex.plan(r, -1)
 		if err != nil {
 			return err
 		}
 		plans[i] = p
 	}
+	round, nextReplan := 0, 1
 	for {
 		if err := ex.checkCtx(); err != nil {
 			return err
 		}
 		ex.bumpIter()
+		// See semiNaiveFixpoint: refresh cost-based plans on geometrically
+		// spaced rounds as the layer's relations grow.
+		round++
+		if !ex.noReorder && round == nextReplan {
+			nextReplan *= 2
+			for i, r := range rules {
+				if !replannable(r, -1) {
+					continue
+				}
+				p, err := ex.plan(r, -1)
+				if err != nil {
+					return err
+				}
+				plans[i] = p
+			}
+		}
 		changed := false
 		if ex.workers > 1 {
 			tasks := make([]ruleTask, len(rules))
@@ -471,7 +546,7 @@ func (ex *exec) semiNaiveFixpoint(rules []ast.Rule) error {
 		rec := false
 		for i, l := range r.Body {
 			if !l.Negated && layerPreds[l.Pred] {
-				p, err := planBody(r, i, nil)
+				p, err := ex.plan(r, i)
 				if err != nil {
 					return err
 				}
@@ -479,7 +554,7 @@ func (ex *exec) semiNaiveFixpoint(rules []ast.Rule) error {
 				rec = true
 			}
 		}
-		p, err := planBody(r, -1, nil)
+		p, err := ex.plan(r, -1)
 		if err != nil {
 			return err
 		}
@@ -525,11 +600,35 @@ func (ex *exec) semiNaiveFixpoint(rules []ast.Rule) error {
 	}
 
 	// Iterate: each round consumes the previous delta.
+	round, nextReplan := 0, 1
 	for len(delta) > 0 {
 		if err := ex.checkCtx(); err != nil {
 			return err
 		}
 		ex.bumpIter()
+		// Cost-based plans are data-dependent, and the relations of this
+		// layer grow as the fixpoint runs: a plan compiled when a recursive
+		// relation held one seed tuple would keep scanning it first long
+		// after it outgrew every alternative.  Recompile the delta variants
+		// on geometrically spaced rounds (1, 2, 4, 8, ...): relations grow
+		// monotonically within a layer, so any growth-induced plan flip is
+		// picked up within a factor-2 window of rounds at O(log rounds)
+		// replanning cost.  Static plans (NoReorder) are data-independent,
+		// so the compile-once copies stay valid.
+		round++
+		if !ex.noReorder && round == nextReplan {
+			nextReplan *= 2
+			for i := range recvars {
+				if !replannable(recvars[i].rule, recvars[i].dLit) {
+					continue
+				}
+				p, err := ex.plan(recvars[i].rule, recvars[i].dLit)
+				if err != nil {
+					return err
+				}
+				recvars[i].plan = p
+			}
+		}
 		next := map[string]*store.Relation{}
 		recordNext := func(f *term.Fact) {
 			rel, ok := next[f.Pred]
@@ -763,7 +862,7 @@ func (ex *exec) applyGroupingRule(r ast.Rule) error {
 	if !ok {
 		return fmt.Errorf("eval: grouping over non-variable term <%s>; rewrite LDL1.5 heads first", inner)
 	}
-	p, err := planBody(r, -1, nil)
+	p, err := ex.plan(r, -1)
 	if err != nil {
 		return err
 	}
@@ -869,7 +968,7 @@ func Solve(body []ast.Literal, db *store.DB) ([]map[term.Var]term.Term, error) {
 // disables the polling.
 func SolveCtx(ctx context.Context, body []ast.Literal, db *store.DB) ([]map[term.Var]term.Term, error) {
 	r := ast.Rule{Head: ast.NewLit("$query"), Body: body}
-	p, err := planBody(r, -1, nil)
+	p, err := planBodyDB(r, -1, nil, db)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ import (
 	"ldl1/internal/ast"
 	"ldl1/internal/builtin"
 	"ldl1/internal/layering"
+	"ldl1/internal/store"
 	"ldl1/internal/term"
 	"ldl1/internal/unify"
 )
@@ -50,27 +51,59 @@ type access struct {
 type bodyPlan struct {
 	order []int
 	acc   []access
+	// reordered reports that the cost model chose a different literal than
+	// the static most-bound-columns heuristic would have, at some step.
+	reordered bool
+	// est[k] is the planner's estimated candidate count for step k (0 for
+	// built-ins and negated tests); estRows is their sum.
+	est     []int64
+	estRows int64
 }
 
 // Plan is the public view of a compiled body plan, used by the magic-sets
 // compiler (§6) to derive sideways information passing: the execution
 // order plus, for each body literal (by original body position), the
-// argument columns that are ground when it executes.
+// argument columns that are ground when it executes.  Plans compiled
+// against a live database (CompileBodyDB) additionally carry the cost
+// model's per-step candidate estimates.
 type Plan struct {
 	Order     []int
 	BoundCols [][]int
+	// Est is parallel to Order: the estimated candidate facts per probe of
+	// each step, 0 for built-ins and negated tests.  Nil for plans compiled
+	// without a database.
+	Est []int64
+	// Reordered reports that the cost model departed from the static
+	// most-bound-columns order somewhere in the plan.
+	Reordered bool
 }
 
 // CompileBody plans the rule body like PlanBody and additionally exposes
-// the per-literal bound-column analysis.
+// the per-literal bound-column analysis.  The order is the static one —
+// data-independent, so magic-set sips and analysis diagnostics are stable
+// across databases.
 func CompileBody(r ast.Rule, forcedFirst int, preBound map[term.Var]bool) (*Plan, error) {
-	p, err := planBody(r, forcedFirst, preBound)
+	return compilePlan(r, forcedFirst, preBound, nil)
+}
+
+// CompileBodyDB is CompileBody under the cost model: body literals are
+// scheduled by estimated candidate count against the live cardinalities of
+// db.  A nil db degrades to the static order.
+func CompileBodyDB(r ast.Rule, forcedFirst int, preBound map[term.Var]bool, db *store.DB) (*Plan, error) {
+	return compilePlan(r, forcedFirst, preBound, db)
+}
+
+func compilePlan(r ast.Rule, forcedFirst int, preBound map[term.Var]bool, db *store.DB) (*Plan, error) {
+	p, err := planBodyDB(r, forcedFirst, preBound, db)
 	if err != nil {
 		return nil, err
 	}
-	out := &Plan{Order: p.order, BoundCols: make([][]int, len(r.Body))}
+	out := &Plan{Order: p.order, BoundCols: make([][]int, len(r.Body)), Reordered: p.reordered}
 	for step, idx := range p.order {
 		out.BoundCols[idx] = p.acc[step].cols
+	}
+	if db != nil {
+		out.Est = p.est
 	}
 	return out, nil
 }
@@ -142,6 +175,68 @@ func compileKey(arg term.Term) keyFn {
 // If forcedFirst >= 0 that literal is scheduled first (semi-naive delta
 // occurrence).  preBound seeds the bound-variable set (magic evaluation).
 func planBody(r ast.Rule, forcedFirst int, preBound map[term.Var]bool) (*bodyPlan, error) {
+	return planBodyDB(r, forcedFirst, preBound, nil)
+}
+
+// unknownCard is the assumed cardinality of a predicate with no relation in
+// the database at plan time — typically an IDB predicate whose facts have
+// not been derived yet.  Deliberately modest: an absent relation should
+// neither be greedily scheduled first (it may fill up during the fixpoint)
+// nor pushed last behind huge base relations.
+const unknownCard = 64
+
+// estimate returns the expected number of candidate facts one probe of the
+// literal yields, given the bound-column set cols, plus the relation's
+// current size.  The model is deliberately coarse — it only has to rank
+// join candidates, not price them:
+//
+//   - every column bound: at most one fact (set semantics point lookup),
+//   - an index over exactly cols exists: n / distinct keys,
+//   - k columns bound, no index yet: n >> 3k (each bound column is assumed
+//     to be roughly 8x selective),
+//   - nothing bound: the whole relation.
+func estimate(db *store.DB, pred string, cols []int, arity int) (est, n int64) {
+	rel := db.RelOrNil(pred)
+	if rel == nil {
+		n = unknownCard
+	} else {
+		n = int64(rel.Len())
+	}
+	k := len(cols)
+	switch {
+	case k == 0:
+		est = n
+	case k == arity:
+		est = 1
+	default:
+		est = -1
+		if rel != nil {
+			if d, ok := rel.DistinctCols(cols); ok && d > 0 {
+				est = (n + int64(d) - 1) / int64(d)
+			}
+		}
+		if est < 0 {
+			shift := 3 * k
+			if shift > 62 {
+				shift = 62
+			}
+			est = n >> uint(shift)
+		}
+		if est < 1 {
+			est = 1
+		}
+	}
+	return est, n
+}
+
+// planBodyDB is planBody with an optional database: when db is non-nil the
+// class-3 choice (positive database literals) is cost-based — the literal
+// with the smallest estimated candidate count runs next, with ties broken
+// by more bound columns, then smaller relation, then source order.  A nil
+// db preserves the static most-bound-columns order exactly, which keeps
+// magic-set sips, analysis diagnostics, and maintenance plans
+// data-independent.
+func planBodyDB(r ast.Rule, forcedFirst int, preBound map[term.Var]bool, db *store.DB) (*bodyPlan, error) {
 	body := r.Body
 	n := len(body)
 	used := make([]bool, n)
@@ -170,12 +265,20 @@ func planBody(r ast.Rule, forcedFirst int, preBound map[term.Var]bool) (*bodyPla
 			}
 		}
 	}
-	p := &bodyPlan{order: make([]int, 0, n), acc: make([]access, 0, n)}
+	p := &bodyPlan{order: make([]int, 0, n), acc: make([]access, 0, n), est: make([]int64, 0, n)}
 	take := func(i int) {
 		l := body[i]
+		isDB := !l.Negated && !layering.IsBuiltin(l.Pred)
 		// The access path is determined by the bindings BEFORE this
 		// literal runs; compute it before extending the bound set.
-		p.acc = append(p.acc, compileAccess(l, argVars[i], bound, !l.Negated && !layering.IsBuiltin(l.Pred)))
+		a := compileAccess(l, argVars[i], bound, isDB)
+		p.acc = append(p.acc, a)
+		var stepEst int64
+		if db != nil && isDB {
+			stepEst, _ = estimate(db, l.Pred, a.cols, len(l.Args))
+			p.estRows += stepEst
+		}
+		p.est = append(p.est, stepEst)
 		p.order = append(p.order, i)
 		used[i] = true
 		bindAll(i)
@@ -217,9 +320,14 @@ func planBody(r ast.Rule, forcedFirst int, preBound map[term.Var]bool) (*bodyPla
 				chosen = i
 			}
 		}
-		// Class 3: positive database literals, most bound args first.
+		// Class 3: positive database literals.  Statically: most bound
+		// argument columns first, source order on ties.  With a database
+		// to consult, cost-based: smallest estimated candidate count
+		// first — a bound-key probe of a large relation beats scanning a
+		// small one only when the estimate says so.
 		if chosen < 0 {
-			best := -1
+			staticBest := -1
+			bestScore := -1
 			for i := 0; i < n; i++ {
 				if used[i] || body[i].Negated || layering.IsBuiltin(body[i].Pred) {
 					continue
@@ -237,10 +345,43 @@ func planBody(r ast.Rule, forcedFirst int, preBound map[term.Var]bool) (*bodyPla
 						score++
 					}
 				}
-				if score > best {
-					best = score
-					chosen = i
+				if score > bestScore {
+					bestScore = score
+					staticBest = i
 				}
+			}
+			chosen = staticBest
+			posLeft := 0
+			for i := 0; i < n; i++ {
+				if !used[i] && !body[i].Negated && !layering.IsBuiltin(body[i].Pred) {
+					posLeft++
+				}
+			}
+			// With a single remaining candidate there is nothing to rank;
+			// skip the cost loop (small programs plan often — every round
+			// of every fixpoint — so the constant matters).
+			if db != nil && staticBest >= 0 && posLeft > 1 {
+				best := -1
+				var bestEst, bestN int64
+				bestCols := -1
+				for i := 0; i < n; i++ {
+					if used[i] || body[i].Negated || layering.IsBuiltin(body[i].Pred) {
+						continue
+					}
+					a := compileAccess(body[i], argVars[i], bound, false)
+					est, card := estimate(db, body[i].Pred, a.cols, len(body[i].Args))
+					better := best < 0 ||
+						est < bestEst ||
+						(est == bestEst && (len(a.cols) > bestCols ||
+							(len(a.cols) == bestCols && card < bestN)))
+					if better {
+						best, bestEst, bestCols, bestN = i, est, len(a.cols), card
+					}
+				}
+				if best != staticBest {
+					p.reordered = true
+				}
+				chosen = best
 			}
 		}
 		if chosen < 0 {

@@ -105,7 +105,24 @@ type Materialized struct {
 	edb   *store.DB  // current EDB (replaced, never mutated, per Apply)
 	model atomic.Pointer[store.DB]
 
+	// onChange, when set, is invoked after every successfully published
+	// transaction with the predicates whose extensions changed; see OnChange.
+	onChange func(preds []string)
+
 	opts Options
+}
+
+// OnChange registers a callback fired after each successful Apply, with the
+// names of every predicate (EDB and IDB) whose extension changed in the
+// published model.  The callback runs under the Apply lock — after the new
+// snapshot is visible, before the next transaction can start — so cache
+// layers above the view (the engine's magic-answer cache) can invalidate
+// without racing a concurrent Apply.  The callback must not call back into
+// Apply.  Passing nil unregisters.
+func (m *Materialized) OnChange(fn func(preds []string)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onChange = fn
 }
 
 // New compiles the program, evaluates it once against edb (which is copied,
@@ -300,5 +317,35 @@ func (m *Materialized) ApplyCtx(ctx context.Context, tx Tx) (Result, error) {
 
 	m.edb = edb2
 	m.model.Store(s.w)
+	if m.onChange != nil {
+		m.onChange(changedPreds(added, removed, s))
+	}
 	return Result{Inserted: s.gIns.len(), Deleted: s.gDel.len()}, nil
+}
+
+// changedPreds collects the distinct predicates a published transaction
+// touched: the normalized EDB insertions and retractions plus every net
+// model delta the layers produced.
+func changedPreds(added, removed []*term.Fact, s *txState) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, f := range added {
+		add(f.Pred)
+	}
+	for _, f := range removed {
+		add(f.Pred)
+	}
+	for _, p := range s.gIns.order {
+		add(p)
+	}
+	for _, p := range s.gDel.order {
+		add(p)
+	}
+	return out
 }

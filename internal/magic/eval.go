@@ -5,7 +5,6 @@ import (
 
 	"ldl1/internal/ast"
 	"ldl1/internal/eval"
-	"ldl1/internal/lderr"
 	"ldl1/internal/parser"
 	"ldl1/internal/store"
 	"ldl1/internal/term"
@@ -48,74 +47,15 @@ func Answer(p *ast.Program, edb *store.DB, query parser.Query, opts eval.Options
 }
 
 // AnswerVariant is Answer under an explicit choice of rewriting variant.
+// It is PrepareVariant followed by one Exec of the original constants; the
+// prepared path exists so callers issuing the same query shape repeatedly
+// can skip the compilation steps.
 func AnswerVariant(p *ast.Program, edb *store.DB, query parser.Query, opts eval.Options, v Variant) (*Result, error) {
-	ap, err := Adorn(p, query)
+	pr, err := PrepareVariant(p, query, v)
 	if err != nil {
 		return nil, err
 	}
-	var rw *Rewritten
-	if v == Supplementary {
-		rw, err = RewriteSupplementary(ap)
-	} else {
-		rw, err = Rewrite(ap)
-	}
-	if err != nil {
-		return nil, err
-	}
-
-	// Group rewritten rules by assigned stratum.
-	groups := make([][]ast.Rule, rw.NumStrata)
-	for _, r := range rw.Program.Rules {
-		s := rw.Strata[r.Head.Pred] // magic seed and magic preds included
-		groups[s] = append(groups[s], r)
-	}
-
-	acc := store.NewDB() // accumulated magic facts
-	res := &Result{Adorned: ap, Rewritten: rw}
-	for pass := 1; ; pass++ {
-		if pass > maxPasses {
-			return nil, fmt.Errorf("magic: no fixpoint after %d passes", maxPasses)
-		}
-		// The inner EvalGroups checks opts.Ctx at every round; the pass
-		// boundary check here covers the clone/preload work between them.
-		if opts.Ctx != nil {
-			if err := lderr.FromContext(opts.Ctx); err != nil {
-				return nil, err
-			}
-		}
-		db := edb.Clone()
-		for _, f := range acc.Facts() {
-			db.Insert(f)
-		}
-		if err := eval.EvalGroups(groups, db, opts); err != nil {
-			return nil, err
-		}
-		grew := false
-		for pred := range rw.MagicPreds {
-			if !db.Has(pred) {
-				continue
-			}
-			for _, f := range db.Rel(pred).All() {
-				if acc.Insert(f) {
-					grew = true
-				}
-			}
-		}
-		res.Passes = pass
-		if !grew {
-			res.DB = db
-			break
-		}
-	}
-
-	// Read the answers off the adorned query predicate.
-	qlit := ast.Literal{Pred: rw.AnswerPred, Args: ap.QueryLit.Args}
-	sols, err := eval.SolveCtx(opts.Ctx, []ast.Literal{qlit}, res.DB)
-	if err != nil {
-		return nil, err
-	}
-	res.Solutions = sols
-	return res, nil
+	return pr.Exec(edb, nil, opts)
 }
 
 // AnswerWithout evaluates the same query without magic sets, as the

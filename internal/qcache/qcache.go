@@ -1,0 +1,152 @@
+// Package qcache implements the engine's magic-answer cache: a bounded LRU
+// from (predicate, adornment, constants) to the solutions a magic-sets
+// evaluation produced, plus the dependency cone that determines when a
+// database update invalidates the entry.
+//
+// Entries are immutable once stored — callers must never mutate a returned
+// entry's solutions — so readers need no copy and the lock is held only for
+// map/list surgery, never during evaluation.  Invalidation takes the same
+// lock, which makes the cache's view atomic: a Get racing an Invalidate
+// observes either the entry or its absence, never a half-evicted state
+// (the snapshot-publication discipline of internal/incr, applied to a
+// cache).
+package qcache
+
+import (
+	"container/list"
+	"sync"
+
+	"ldl1/internal/term"
+)
+
+// Key identifies one cached query form: the queried predicate, its
+// adornment (binding pattern), and the bound constants rendered in a
+// canonical form (term.Fact keys are canonical per the interning layer).
+type Key struct {
+	Pred   string
+	Adorn  string
+	Consts string
+}
+
+// ConstsKey renders ground constants canonically for use in a Key.
+func ConstsKey(consts []term.Term) string {
+	if len(consts) == 0 {
+		return ""
+	}
+	return term.NewFact("", consts...).Key()
+}
+
+// Entry is one cached answer set.  Sols and Cone are frozen at Put time;
+// the cache hands out the same slice to every hit.
+type Entry struct {
+	// Sols are the solutions of the magic evaluation, in the order the
+	// evaluator produced them.
+	Sols []map[term.Var]term.Term
+	// Cone holds every predicate (EDB and IDB) the query depends on; an
+	// update touching any of them evicts the entry.
+	Cone map[string]bool
+}
+
+// Cache is a thread-safe LRU of query answers.
+type Cache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	m         map[Key]*list.Element
+	hits      int
+	misses    int
+	evictions int
+}
+
+type cell struct {
+	k Key
+	e *Entry
+}
+
+// New returns a cache holding at most cap entries (cap <= 0 disables
+// caching: every Get misses and Put is a no-op).
+func New(cap int) *Cache {
+	return &Cache{cap: cap, ll: list.New(), m: map[Key]*list.Element{}}
+}
+
+// Get returns the entry for k, promoting it to most-recently-used.
+func (c *Cache) Get(k Key) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cell).e, true
+}
+
+// Put stores e under k, evicting the least-recently-used entry beyond
+// capacity.  The entry must not be mutated after the call.
+func (c *Cache) Put(k Key, e *Entry) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		el.Value.(*cell).e = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[k] = c.ll.PushFront(&cell{k: k, e: e})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*cell).k)
+		c.evictions++
+	}
+}
+
+// Invalidate evicts every entry whose dependency cone contains any of the
+// given predicates, returning the number evicted.
+func (c *Cache) Invalidate(preds ...string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		cl := el.Value.(*cell)
+		for _, p := range preds {
+			if cl.e.Cone[p] {
+				c.ll.Remove(el)
+				delete(c.m, cl.k)
+				c.evictions++
+				n++
+				break
+			}
+		}
+		el = next
+	}
+	return n
+}
+
+// Purge empties the cache.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evictions += c.ll.Len()
+	c.ll.Init()
+	c.m = map[Key]*list.Element{}
+}
+
+// Len reports the number of live entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Counters reports cumulative hits, misses, and evictions.
+func (c *Cache) Counters() (hits, misses, evictions int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}

@@ -467,6 +467,23 @@ func (r *Relation) Lookup(col int, value term.Term) []*term.Fact {
 	return out
 }
 
+// DistinctCols returns the number of distinct value combinations the
+// relation holds at the given columns, when an index over exactly those
+// columns has already been built (ok reports that).  It is the cheap
+// selectivity statistic the cost-based join planner feeds on: distinct keys
+// ≈ index buckets, so the expected rows per probe is Len()/distinct.  No
+// index is ever built here — planning must stay O(1) per literal.
+func (r *Relation) DistinctCols(cols []int) (distinct int, ok bool) {
+	mask, valid := colsMask(cols)
+	if !valid {
+		return 0, false
+	}
+	if ix := r.findIndex(mask); ix != nil {
+		return len(ix.m), true
+	}
+	return 0, false
+}
+
 // DB is a database: a set of U-facts grouped into relations.
 type DB struct {
 	rels  map[string]*Relation
@@ -555,6 +572,16 @@ func (db *DB) DeleteAll(fs []*term.Fact) int {
 		n += db.MutableRel(p).DeleteAll(byPred[p])
 	}
 	return n
+}
+
+// Card returns the number of facts currently held for pred, 0 when no
+// relation exists.  Like RelOrNil it never mutates the database, so the
+// planner may consult it while concurrent readers are active.
+func (db *DB) Card(pred string) int {
+	if r := db.rels[pred]; r != nil {
+		return r.Len()
+	}
+	return 0
 }
 
 // Contains reports whether the database holds the fact.

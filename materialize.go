@@ -36,14 +36,24 @@ type Materialized struct {
 // derive, and a breaching transaction rolls back.  WithDeadline carries
 // over likewise, per operation.
 func (e *Engine) Materialize() (*Materialized, error) {
+	e.mu.RLock()
 	inner, err := incr.New(e.source, e.edb, incr.Options{
 		Workers:    e.cfg.workers,
 		Strategy:   e.cfg.strategy,
 		Stats:      e.cfg.stats,
 		MaxDerived: e.cfg.limit,
 	})
+	e.mu.RUnlock()
 	if err != nil {
 		return nil, err
+	}
+	if e.cache != nil {
+		// Delta-driven cache invalidation: a transaction touching any
+		// predicate inside a cached query's dependency cone evicts that
+		// entry.  The hook runs after the view publishes its new snapshot
+		// and before its next transaction, so eviction is never lost under
+		// concurrent Exec/Assert.
+		inner.OnChange(func(preds []string) { e.cache.Invalidate(preds...) })
 	}
 	return &Materialized{inner: inner, deadline: e.cfg.deadline}, nil
 }
