@@ -61,14 +61,25 @@ type benchResult struct {
 	// (nonzero only for the q* prepared-query entries).
 	PlansReordered int64 `json:"plans_reordered"`
 	CacheHits      int64 `json:"cache_hits"`
+	// Scale-sweep metrics (v5), set only on the s* EDB-load entries: heap
+	// bytes retained per stored fact once the input slice is dropped, total
+	// GC pause accumulated during the load, and the load's speedup over the
+	// per-fact insert-loop baseline of the same sweep point.
+	BytesPerFact float64 `json:"bytes_per_fact,omitempty"`
+	GCPauseNs    int64   `json:"gc_pause_ns,omitempty"`
+	LoadSpeedup  float64 `json:"load_speedup,omitempty"`
 }
 
 type benchReport struct {
-	Version   int           `json:"version"`
-	GoVersion string        `json:"go_version"`
-	GOOS      string        `json:"goos"`
-	GOARCH    string        `json:"goarch"`
-	Results   []benchResult `json:"results"`
+	Version   int    `json:"version"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// NumCPU (v5) records the cores the s* sweep's parallel loads had; a
+	// load_speedup from a single-core host measures bulk-path efficiency,
+	// not parallelism.
+	NumCPU  int           `json:"num_cpu"`
+	Results []benchResult `json:"results"`
 }
 
 // benchEntry names one operation; op returns the evaluation counters of
@@ -77,6 +88,13 @@ type benchReport struct {
 type benchEntry struct {
 	id, name string
 	op       func(ctx context.Context) (eval.Stats, error)
+}
+
+// scaleEntry is a self-measured s* sweep entry: run executes one cold load
+// and returns a prefilled row (see scale.go).
+type scaleEntry struct {
+	id, name string
+	run      func() (*benchResult, error)
 }
 
 func evalOp(p *ast.Program, db *store.DB, strat eval.Strategy) func(context.Context) (eval.Stats, error) {
@@ -397,7 +415,7 @@ func benchEntries() ([]benchEntry, error) {
 // exceeds it is reported as skipped and the remaining entries still
 // execute.  filter, when nonempty, restricts the run to entries whose id
 // starts with it ("q" selects q1 and q2).
-func runBenchJSON(path string, reps int, timeout time.Duration, filter string) (*benchReport, error) {
+func runBenchJSON(path string, reps int, timeout time.Duration, filter, scale string) (*benchReport, error) {
 	// Fail on an unwritable path now, not after minutes of timing.
 	out, err := os.Create(path)
 	if err != nil {
@@ -405,10 +423,11 @@ func runBenchJSON(path string, reps int, timeout time.Duration, filter string) (
 	}
 	defer out.Close()
 	report := benchReport{
-		Version:   4, // v4 adds the planner/cache counters and the q*/j2 pairs
+		Version:   5, // v5 adds the s* scale sweep and its memory metrics
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
 	}
 	if reps < 1 {
 		reps = 1
@@ -489,6 +508,25 @@ func runBenchJSON(path string, reps int, timeout time.Duration, filter string) (
 		fmt.Printf("%-4s %-30s %12d ns/op %10d allocs/op %14.0f facts/sec %9d idx hits %7d scans\n",
 			e.id, e.name, row.NsPerOp, row.AllocsPerOp, row.FactsPerSec, row.IndexHits, row.FullScans)
 		report.Results = append(report.Results, row)
+	}
+	// s* scale sweep (v5): self-measured cold loads, one run each — no
+	// warm-up, reps, or -timeout (a cold load is the phenomenon).
+	sweep, err := scaleEntries(scale)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range sweep {
+		if filter != "" && !strings.HasPrefix(e.id, filter) {
+			continue
+		}
+		row, err := e.run()
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", e.id, e.name, err)
+		}
+		row.ID, row.Name = e.id, e.name
+		fmt.Printf("%-4s %-30s %12d ns/op %14.0f facts/sec %8.1f B/fact %10d gc-pause-ns %6.2fx\n",
+			e.id, e.name, row.NsPerOp, row.FactsPerSec, row.BytesPerFact, row.GCPauseNs, row.LoadSpeedup)
+		report.Results = append(report.Results, *row)
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

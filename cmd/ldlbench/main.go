@@ -52,11 +52,12 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "with -bench: per-operation deadline; entries exceeding it are skipped (0 = none)")
 		filter  = flag.String("filter", "", "with -bench: only run entries whose id starts with this prefix (e.g. q)")
 		compare = flag.String("compare", "", "with -bench: diff the run against this committed snapshot (non-gating)")
+		scale   = flag.String("scale", "small", "with -bench: s* sweep size, small (CI) or full (1M/4M/10M facts)")
 	)
 	flag.Parse()
 
 	if *bench != "" {
-		report, err := runBenchJSON(*bench, *reps, *timeout, *filter)
+		report, err := runBenchJSON(*bench, *reps, *timeout, *filter, *scale)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)

@@ -205,27 +205,50 @@ func (e *Engine) AddFact(f *Fact) {
 }
 
 // AddFacts inserts facts given as LDL1 source text ("parent(a, b). ...").
+// The parsed facts are loaded in one batch, so intern tables are pre-sized
+// instead of grown fact by fact.
 func (e *Engine) AddFacts(src string) error {
 	p, err := parser.ParseProgram(src)
 	if err != nil {
 		return err
 	}
+	fs := make([]*term.Fact, 0, len(p.Rules))
 	for _, r := range p.Rules {
 		if !r.IsFact() {
 			return fmt.Errorf("ldl1: AddFacts source contains a rule: %s", r.String())
 		}
-		e.AddFact(term.NewFact(r.Head.Pred, r.Head.Args...))
+		fs = append(fs, term.NewFact(r.Head.Pred, r.Head.Args...))
+	}
+	if len(fs) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.model = nil
+	e.edb.LoadFacts(fs, store.LoadOpts{Workers: e.cfg.workers})
+	if e.cache != nil {
+		for _, f := range fs {
+			e.cache.Invalidate(f.Pred)
+		}
 	}
 	return nil
 }
 
 // AddDB inserts every fact of a prebuilt database (e.g. from the workload
-// generators used in benchmarks).
+// generators used in benchmarks).  Each source relation is loaded through
+// the parallel bulk path with packing enabled: ground flat facts land as
+// compact constant-ID rows, inflated back to *term.Fact only when a query
+// first needs their term structure.
 func (e *Engine) AddDB(db *store.DB) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.model = nil
-	e.edb.AddAll(db)
+	opts := store.LoadOpts{Workers: e.cfg.workers, Pack: true}
+	for _, p := range db.Preds() {
+		if r := db.RelOrNil(p); r != nil && r.Len() > 0 {
+			e.edb.LoadFacts(r.All(), opts)
+		}
+	}
 	if e.cache != nil {
 		e.cache.Invalidate(db.Preds()...)
 	}

@@ -171,9 +171,7 @@ func New(p *ast.Program, edb *store.DB, opts Options) (*Materialized, error) {
 		}
 	}
 	m.edb = edb.Clone()
-	for _, f := range progFacts {
-		m.edb.Insert(f)
-	}
+	m.edb.LoadFacts(progFacts, store.LoadOpts{Workers: opts.Workers})
 	model, err := eval.Eval(p, m.edb, eval.Options{
 		Strategy:   opts.Strategy,
 		Stats:      opts.Stats,

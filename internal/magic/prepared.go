@@ -136,9 +136,9 @@ func (pr *Prepared) Exec(edb *store.DB, consts []term.Term, opts eval.Options) (
 		}
 		db := edb.Clone()
 		db.Insert(seed)
-		for _, f := range acc.Facts() {
-			db.Insert(f)
-		}
+		// Accumulated magic facts splice in through the batch path (no
+		// packing: they are consumed structurally by the very next pass).
+		db.LoadFacts(acc.Facts(), store.LoadOpts{})
 		if err := eval.EvalGroups(pr.groups, db, opts); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,288 @@
+package store
+
+import (
+	"sync"
+
+	"ldl1/internal/term"
+)
+
+// Bulk loading.  InsertBatch partitions the input by fact-hash shard and
+// then processes whole shards independently: each shard's worker dedupes
+// against (and inserts into) only its own intern table and packed rows, so
+// workers share no mutable state and need no locks (the constant pool is
+// internally synchronized).  Because a shard is always processed by
+// exactly one worker, in input order, the resulting relation state — and
+// therefore the materialized fact order — is identical for every worker
+// count, including the degenerate single-goroutine run.
+
+// batchShardResult is one shard's private output: the pointer-path facts
+// it accepted (in input order) and how many packed rows it appended.
+type batchShardResult struct {
+	newPtr    []*term.Fact
+	packAdded int
+}
+
+// InsertBatch adds the facts in one batch, returning how many were new.
+// Duplicates — against the relation and within the batch — are discarded.
+// The batch path differs from repeated Insert in three ways: intern tables
+// are pre-sized once instead of grown doubling by doubling; a large batch
+// first reshards the relation (per opts.Shards) so interning runs
+// shard-parallel with opts.Workers goroutines; and with opts.Pack, ground
+// flat facts are stored as packed constant-ID rows instead of fact
+// pointers.  Facts materialize in shard-major order, so single-shard
+// relations (the default for everything but bulk loads) keep exact input
+// order.  InsertBatch is single-writer, like Insert.
+func (r *Relation) InsertBatch(fs []*term.Fact, opts LoadOpts) int {
+	if len(fs) == 0 {
+		return 0
+	}
+	r.ensureTables()
+	if t := normalizeShards(opts.Shards); t > len(r.shards) && len(fs) >= reshardMin && r.noPacks() {
+		r.reshard(t)
+	}
+	pack := opts.Pack && r.indexes.Load() == nil
+	nsh := len(r.shards)
+
+	// Phase A (serial): hash every fact — Hash memoizes lazily, so this
+	// must not race — and bucket input positions by shard.
+	hs := make([]uint64, len(fs))
+	for i, f := range fs {
+		hs[i] = hashFact(f)
+	}
+	var buckets [][]int32
+	if nsh > 1 {
+		counts := make([]int, nsh)
+		for _, h := range hs {
+			counts[r.shardOf(h)]++
+		}
+		buckets = make([][]int32, nsh)
+		for si := range buckets {
+			buckets[si] = make([]int32, 0, counts[si])
+		}
+		for i, h := range hs {
+			si := r.shardOf(h)
+			buckets[si] = append(buckets[si], int32(i))
+		}
+	}
+
+	// Phase B: intern each shard's slice of the batch, one worker per
+	// shard at a time, results kept shard-local.
+	results := make([]batchShardResult, nsh)
+	workers := opts.Workers
+	if workers > nsh {
+		workers = nsh
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		for wi := 0; wi < workers; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				for si := wi; si < nsh; si += workers {
+					r.loadShard(si, fs, hs, buckets[si], pack, &results[si])
+				}
+			}(wi)
+		}
+		wg.Wait()
+	} else {
+		for si := 0; si < nsh; si++ {
+			var b []int32
+			if buckets != nil {
+				b = buckets[si]
+			}
+			r.loadShard(si, fs, hs, b, pack, &results[si])
+		}
+	}
+
+	// Phase C (serial): splice shard results into the relation-global
+	// bookkeeping — materialized fact order, indexes, counters.
+	idxs := r.indexes.Load()
+	added := 0
+	packedAny := false
+	for si := range results {
+		res := &results[si]
+		if len(res.newPtr) > 0 {
+			r.facts = append(r.facts, res.newPtr...)
+			if idxs != nil {
+				for _, f := range res.newPtr {
+					for _, ix := range *idxs {
+						ix.add(f)
+					}
+				}
+			}
+		}
+		added += len(res.newPtr) + res.packAdded
+		if res.packAdded > 0 {
+			packedAny = true
+		}
+	}
+	r.live += added
+	if packedAny {
+		r.packed.Store(true)
+	}
+	return added
+}
+
+// loadShard interns one shard's candidates.  cand is the bucketed input
+// positions, or nil for "the whole batch" (single-shard relations skip
+// bucketing).  It touches only shard-local state and out.
+func (r *Relation) loadShard(si int, fs []*term.Fact, hs []uint64, cand []int32, pack bool, out *batchShardResult) {
+	sh := &r.shards[si]
+	n := len(cand)
+	if cand == nil {
+		n = len(fs)
+	}
+	if !pack {
+		sh.table.reserve(n)
+	}
+	// A fresh bulk load probes an empty intern table; skip that probe until
+	// a pointer-path insert makes the table non-empty.
+	probeTable := sh.table.n > 0
+	var ids []uint64
+	for k := 0; k < n; k++ {
+		fi := k
+		if cand != nil {
+			fi = int(cand[k])
+		}
+		f, h := fs[fi], hs[fi]
+		if probeTable {
+			if g := sh.table.get(h, f); g != nil {
+				continue
+			}
+		}
+		if ps := sh.pack; ps != nil && f.Pred == r.Name {
+			if _, ok := ps.find(h, func(row int) bool { return ps.matchArgs(row, f.Args) }); ok {
+				continue
+			}
+		}
+		if pack && f.Pred == r.Name && len(f.Args) > 0 {
+			ps := sh.pack
+			if ps == nil && packable(f) {
+				ps = newPackShard(len(f.Args), n-k)
+				ps.reserve(n - k)
+				sh.pack = ps
+			}
+			if ps != nil && ps.arity == len(f.Args) {
+				if ids == nil {
+					ids = make([]uint64, 0, ps.arity)
+				}
+				// encodeCell rejects non-constant arguments itself, so no
+				// separate packability pass over the args is needed.
+				ids = ids[:0]
+				ok := true
+				for _, a := range f.Args {
+					id, k := encodeCell(a)
+					if !k {
+						ok = false // unpackable or pool full: pointer path
+						break
+					}
+					ids = append(ids, id)
+				}
+				if ok {
+					ps.append(h, ids)
+					out.packAdded++
+					continue
+				}
+			}
+		}
+		sh.table.insert(h, f)
+		out.newPtr = append(out.newPtr, f)
+		probeTable = true
+	}
+}
+
+// noPacks reports whether no shard holds packed rows.  Resharding
+// redistributes intern-table pointers only; relations that already packed
+// keep their shard count.
+func (r *Relation) noPacks() bool {
+	for si := range r.shards {
+		if r.shards[si].pack != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// reshard redistributes the intern tables over n shards (a power of two
+// larger than the current count).  The materialized fact slice — and with
+// it, iteration order — is untouched; only point-op routing changes.
+// Exclusive-writer only.
+func (r *Relation) reshard(n int) {
+	bits := shardBitsFor(n)
+	next := make([]relShard, n)
+	hint := r.live/n + 1
+	for i := range next {
+		next[i].table = newFactTable(hint)
+	}
+	for si := range r.shards {
+		t := r.shards[si].table
+		if t == nil {
+			continue
+		}
+		for _, g := range t.entries {
+			if g == nil || g == tombstone {
+				continue
+			}
+			h := hashFact(g)
+			next[h>>(64-bits)].table.insert(h, g)
+		}
+	}
+	r.shards = next
+	r.shardBits = bits
+}
+
+// normalizeShards clamps a requested shard count to a power of two in
+// [1, maxShards]; 0 stays 0 ("keep current").
+func normalizeShards(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}
+
+// LoadFacts bulk-inserts facts across relations, returning how many were
+// new.  Facts are grouped by predicate (first-appearance order) and each
+// group goes through Relation.InsertBatch; opts.Shards defaults to the
+// database's configured shard count.  Like all mutation, LoadFacts is
+// single-writer.
+func (db *DB) LoadFacts(fs []*term.Fact, opts LoadOpts) int {
+	if len(fs) == 0 {
+		return 0
+	}
+	if opts.Shards == 0 {
+		opts.Shards = db.cfg.Shards
+	}
+	// Single-predicate batches (the common bulk shape) skip grouping.
+	single := true
+	for _, f := range fs[1:] {
+		if f.Pred != fs[0].Pred {
+			single = false
+			break
+		}
+	}
+	n := 0
+	if single {
+		n = db.mutableRel(fs[0].Pred).InsertBatch(fs, opts)
+	} else {
+		groups := make(map[string][]*term.Fact)
+		var order []string
+		for _, f := range fs {
+			if _, seen := groups[f.Pred]; !seen {
+				order = append(order, f.Pred)
+			}
+			groups[f.Pred] = append(groups[f.Pred], f)
+		}
+		for _, p := range order {
+			n += db.mutableRel(p).InsertBatch(groups[p], opts)
+		}
+	}
+	db.sizeAdd(n)
+	return n
+}

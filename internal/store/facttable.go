@@ -107,7 +107,17 @@ func (t *factTable) remove(h uint64, g *term.Fact) bool {
 	return false
 }
 
-func (t *factTable) grow() {
+func (t *factTable) grow() { t.growTo(t.n) }
+
+// reserve grows the table ahead of a batch of extra insertions, so bulk
+// loads rehash at most once instead of doubling through every size.
+func (t *factTable) reserve(extra int) {
+	if (t.n+t.dead+extra)*4 > len(t.entries)*3 {
+		t.growTo(t.n + extra)
+	}
+}
+
+func (t *factTable) growTo(target int) {
 	old := t.entries
 	// Tombstones are swept on every rebuild, so a delete-heavy workload
 	// that hovers around one size re-compacts in place instead of growing.
@@ -115,7 +125,7 @@ func (t *factTable) grow() {
 	if size < factTableMinSize {
 		size = factTableMinSize
 	}
-	for t.n*4 >= size*3 {
+	for target*4 >= size*3 {
 		size *= 2
 	}
 	t.entries = make([]*term.Fact, size)

@@ -1,0 +1,108 @@
+package store
+
+import (
+	"os"
+	"strconv"
+	"sync"
+)
+
+// Config carries the tunables of a database's relations.  The zero value is
+// not useful; start from DefaultConfig.  Existing behavior is preserved by
+// the defaults: relations are created single-shard and reshard only when a
+// bulk load makes parallelism worthwhile, and the index-build cutoff is the
+// historical IndexThreshold.
+type Config struct {
+	// Shards is the per-relation shard count bulk loads spread fact
+	// interning and packed rows across (rounded up to a power of two,
+	// capped at maxShards).  1 disables sharding.  Relations created by
+	// single-fact Insert stay single-shard until a large enough
+	// InsertBatch reshards them, so the sequential paths keep their exact
+	// pre-shard layout and insertion order.
+	Shards int
+	// IndexThreshold is the relation size below which LookupCols scans
+	// instead of building a hash index.  0 means the package default.
+	IndexThreshold int
+}
+
+// maxShards bounds the shard count: beyond 256 the per-shard tables of
+// ordinary relations are too small to amortize their fixed cost.
+const maxShards = 256
+
+// ShardsEnv is the environment variable that overrides DefaultConfig's
+// shard count, for benchmarking sweeps without code changes.
+const ShardsEnv = "LDL1_STORE_SHARDS"
+
+var (
+	envShardsOnce sync.Once
+	envShards     int
+)
+
+// defaultShards returns the package default shard count: LDL1_STORE_SHARDS
+// when set to a positive integer, else 8.
+func defaultShards() int {
+	envShardsOnce.Do(func() {
+		envShards = 8
+		if s := os.Getenv(ShardsEnv); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				envShards = n
+			}
+		}
+	})
+	return envShards
+}
+
+// DefaultConfig returns the standard configuration: 8 shards for bulk-loaded
+// relations (overridable via LDL1_STORE_SHARDS) and the package-default
+// index threshold.
+func DefaultConfig() Config {
+	return Config{Shards: defaultShards(), IndexThreshold: IndexThreshold}
+}
+
+// normalize clamps the configuration to valid values: shard counts become
+// the next power of two in [1, maxShards], a zero threshold becomes the
+// package default.
+func (c Config) normalize() Config {
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.Shards > maxShards {
+		c.Shards = maxShards
+	}
+	p := 1
+	for p < c.Shards {
+		p *= 2
+	}
+	c.Shards = p
+	if c.IndexThreshold <= 0 {
+		c.IndexThreshold = IndexThreshold
+	}
+	return c
+}
+
+// shardBitsFor returns log2(shards) for a power-of-two shard count.
+func shardBitsFor(shards int) uint {
+	b := uint(0)
+	for 1<<b < shards {
+		b++
+	}
+	return b
+}
+
+// LoadOpts configures one bulk load (DB.LoadFacts, Relation.InsertBatch).
+type LoadOpts struct {
+	// Workers is the number of goroutines interning facts shard-parallel.
+	// Values below 2 run the same shard-partitioned algorithm on one
+	// goroutine, so the resulting fact order is identical across worker
+	// counts.
+	Workers int
+	// Pack stores ground flat facts (every argument an atom, integer or
+	// string constant) as interned-constant ID rows instead of *term.Fact
+	// pointers; they are inflated back to canonical facts lazily, the
+	// first time a caller needs term structure.  Packing is skipped for
+	// relations that already built indexes.
+	Pack bool
+	// Shards reshards the target relation to this many shards before
+	// loading, when it is still small enough to reshard cheaply.  0 means
+	// the owning DB's configured count (or 1 for a bare Relation).
+	Shards int
+}

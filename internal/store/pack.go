@@ -1,0 +1,438 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ldl1/internal/term"
+)
+
+// Compact encoding for ground flat facts — the overwhelming EDB case.  A
+// fact whose arguments are all simple constants (atoms, integers, strings)
+// is stored as one row of 64-bit cells in a flat per-shard buffer instead
+// of a heap *term.Fact: no Fact header, no []Term backing array, no
+// per-argument interface boxing, and nothing for the garbage collector to
+// trace (the row buffers are pointer-free).  Rows are inflated back to
+// canonical *term.Fact lazily, the first time a caller needs term
+// structure; until then a 2-ary fact costs ~30 bytes (row + row-table
+// share) instead of ~158.
+//
+// A cell is either an immediate integer (tag bit set; no dictionary on
+// encode or decode) or an ID into a process-global intern pool: constants
+// are immutable values, so interning them globally is semantically free
+// and lets every relation in every database share one dictionary.
+
+// packable reports whether f can be stored as a packed row: flat, ground,
+// and simple-constant in every argument.
+func packable(f *term.Fact) bool {
+	for _, a := range f.Args {
+		switch a.Kind() {
+		case term.KindAtom, term.KindInt, term.KindStr:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+const (
+	poolShardCount = 16
+	poolChunkBits  = 13
+	poolChunkSize  = 1 << poolChunkBits
+	poolMaxConsts  = 1 << 28 // beyond this encode fails and facts stay pointers
+)
+
+// poolShard is one lock shard of the constant pool.  The three maps are
+// keyed by concrete value, not term.Term: typed keys hash with the builtin
+// int64/string hashers, which profiles several times faster than interface
+// hashing on the bulk-load hot path.
+type poolShard struct {
+	mu    sync.RWMutex
+	ints  map[int64]uint32
+	atoms map[string]uint32
+	strs  map[string]uint32
+}
+
+// lookup finds t in the shard maps.  Callers hold mu (read or write).
+func (sh *poolShard) lookup(t term.Term) (uint32, bool) {
+	switch v := t.(type) {
+	case term.Int:
+		id, ok := sh.ints[int64(v)]
+		return id, ok
+	case term.Atom:
+		id, ok := sh.atoms[string(v)]
+		return id, ok
+	case term.Str:
+		id, ok := sh.strs[string(v)]
+		return id, ok
+	}
+	return 0, false
+}
+
+// store records t → id.  Callers hold mu for writing.
+func (sh *poolShard) store(t term.Term, id uint32) {
+	switch v := t.(type) {
+	case term.Int:
+		if sh.ints == nil {
+			sh.ints = make(map[int64]uint32)
+		}
+		sh.ints[int64(v)] = id
+	case term.Atom:
+		if sh.atoms == nil {
+			sh.atoms = make(map[string]uint32)
+		}
+		sh.atoms[string(v)] = id
+	case term.Str:
+		if sh.strs == nil {
+			sh.strs = make(map[string]uint32)
+		}
+		sh.strs[string(v)] = id
+	}
+}
+
+// constPool interns simple constant terms to dense uint32 IDs.  Lookups
+// take a sharded read lock; decoding is lock-free (the chunk list is
+// published atomically and chunk slots are written before their ID escapes
+// the allocation lock).
+type constPool struct {
+	shards [poolShardCount]poolShard
+	mu     sync.Mutex // guards next and chunk appends
+	next   uint32
+	chunks atomic.Pointer[[][]term.Term]
+}
+
+var pool constPool
+
+// encode returns the pool ID of the constant t, interning it if new.  ok is
+// false when the pool is full or t is not a simple constant.
+func (p *constPool) encode(t term.Term) (uint32, bool) {
+	switch t.Kind() {
+	case term.KindAtom, term.KindInt, term.KindStr:
+	default:
+		return 0, false
+	}
+	sh := &p.shards[t.Hash()&(poolShardCount-1)]
+	sh.mu.RLock()
+	id, ok := sh.lookup(t)
+	sh.mu.RUnlock()
+	if ok {
+		return id, true
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if id, ok := sh.lookup(t); ok {
+		return id, true
+	}
+	p.mu.Lock()
+	if p.next >= poolMaxConsts {
+		p.mu.Unlock()
+		return 0, false
+	}
+	id = p.next
+	p.next++
+	var chunks [][]term.Term
+	if cp := p.chunks.Load(); cp != nil {
+		chunks = *cp
+	}
+	ci := int(id >> poolChunkBits)
+	if ci == len(chunks) {
+		next := make([][]term.Term, len(chunks)+1)
+		copy(next, chunks)
+		next[ci] = make([]term.Term, poolChunkSize)
+		chunks = next
+		// The slot is written before the new chunk list is published, and
+		// the ID escapes only after both, so lock-free decoders always
+		// find the slot filled.
+		chunks[ci][id&(poolChunkSize-1)] = t
+		p.chunks.Store(&chunks)
+	} else {
+		chunks[ci][id&(poolChunkSize-1)] = t
+	}
+	p.mu.Unlock()
+	sh.store(t, id)
+	return id, true
+}
+
+// decode returns the constant for a pool ID previously returned by encode.
+func (p *constPool) decode(id uint32) term.Term {
+	chunks := *p.chunks.Load()
+	return chunks[id>>poolChunkBits][id&(poolChunkSize-1)]
+}
+
+// Row cells are 64 bits.  An integer in the 63-bit signed range — in
+// practice, every integer a program writes — encodes immediately in the
+// cell with the tag bit set: no dictionary lookup on either encode or
+// decode, which profiles as the difference between the packed bulk load
+// beating and losing to the per-fact insert loop.  Atoms, strings, and
+// out-of-range integers carry their pool ID in an untagged cell.
+const cellImm = uint64(1) << 63
+
+// encodeCell encodes one constant into a row cell.  ok is false when the
+// constant needs the pool and the pool is full (or t is not a constant).
+func encodeCell(t term.Term) (uint64, bool) {
+	if v, ok := t.(term.Int); ok && int64(v) >= -(1<<62) && int64(v) < 1<<62 {
+		return cellImm | uint64(v)&^cellImm, true
+	}
+	id, ok := pool.encode(t)
+	return uint64(id), ok
+}
+
+// decodeCell inverts encodeCell.
+func decodeCell(c uint64) term.Term {
+	if c&cellImm != 0 {
+		return term.Int(int64(c<<1) >> 1) // sign-extend the low 63 bits
+	}
+	return pool.decode(uint32(c))
+}
+
+// Row-table sentinels: slots[i] holds a row number, rowEmpty, or rowTomb
+// (a deleted slot kept so probe chains survive).
+const (
+	rowEmpty = ^uint32(0)
+	rowTomb  = ^uint32(0) - 1
+)
+
+const packTableMinSize = 8
+
+// packShard holds the packed rows of one relation shard: row-major constant
+// IDs with a fixed stride (the pack arity), a parallel-array open-addressed
+// row table keyed by fact hash, a deletion bitmap, and the lazily filled
+// canonical-fact memo used when single rows are inflated in place.
+type packShard struct {
+	arity int
+	rows  []uint64
+	n     int // rows appended, including dead ones
+	ndead int
+	dead  []uint64 // deletion bitmap, allocated on first delete
+
+	// inflated memoizes per-row canonical facts created by point lookups
+	// (Get/InsertGet hits) before the shard is inflated wholesale, so the
+	// canonical pointer for a row never changes once observed.
+	inflated []*term.Fact
+	// flushed is the materialization watermark: rows below it were appended
+	// to the owning relation's facts slice by a previous inflateAll (and
+	// are all memoized); rows at or above it exist only here.
+	flushed int
+
+	hashes []uint64 // row table: parallel arrays, open-addressed
+	slots  []uint32
+	used   int // live slots
+	tombs  int
+}
+
+func newPackShard(arity, hint int) *packShard {
+	size := packTableMinSize
+	for size*3 < hint*4 {
+		size *= 2
+	}
+	return &packShard{
+		arity:  arity,
+		hashes: make([]uint64, size),
+		slots:  rowEmptySlots(size),
+	}
+}
+
+func rowEmptySlots(n int) []uint32 {
+	s := make([]uint32, n)
+	for i := range s {
+		s[i] = rowEmpty
+	}
+	return s
+}
+
+func (ps *packShard) live() int { return ps.n - ps.ndead }
+
+func (ps *packShard) row(i int) []uint64 {
+	return ps.rows[i*ps.arity : (i+1)*ps.arity]
+}
+
+func (ps *packShard) isDead(i int) bool {
+	// Rows appended after the bitmap was sized are alive by construction.
+	w := i / 64
+	return ps.dead != nil && w < len(ps.dead) && ps.dead[w]&(1<<(uint(i)%64)) != 0
+}
+
+func (ps *packShard) markDead(i int) {
+	if ps.dead == nil {
+		ps.dead = make([]uint64, (ps.n+63)/64+1)
+	}
+	for i/64 >= len(ps.dead) {
+		ps.dead = append(ps.dead, 0)
+	}
+	ps.dead[i/64] |= 1 << (uint(i) % 64)
+	ps.ndead++
+}
+
+// find returns the row whose fact hash is h and whose columns satisfy
+// match.  match is called only for live rows with matching hashes.
+func (ps *packShard) find(h uint64, match func(row int) bool) (int, bool) {
+	mask := uint64(len(ps.slots) - 1)
+	for i := h & mask; ps.slots[i] != rowEmpty; i = (i + 1) & mask {
+		if r := ps.slots[i]; r != rowTomb && ps.hashes[i] == h && match(int(r)) {
+			return int(r), true
+		}
+	}
+	return -1, false
+}
+
+// insert records row (whose fact hash is h) in the row table.  The caller
+// must have checked absence with find.
+func (ps *packShard) insert(h uint64, row int) {
+	if (ps.used+ps.tombs+1)*4 > len(ps.slots)*3 {
+		ps.growTable(ps.used + 1)
+	}
+	mask := uint64(len(ps.slots) - 1)
+	i := h & mask
+	for ps.slots[i] != rowEmpty {
+		if ps.slots[i] == rowTomb {
+			ps.tombs--
+			break
+		}
+		i = (i + 1) & mask
+	}
+	ps.hashes[i] = h
+	ps.slots[i] = uint32(row)
+	ps.used++
+}
+
+// remove tombstones the table slot holding row.
+func (ps *packShard) remove(h uint64, row int) bool {
+	mask := uint64(len(ps.slots) - 1)
+	for i := h & mask; ps.slots[i] != rowEmpty; i = (i + 1) & mask {
+		if ps.slots[i] == uint32(row) && ps.hashes[i] == h {
+			ps.slots[i] = rowTomb
+			ps.used--
+			ps.tombs++
+			return true
+		}
+	}
+	return false
+}
+
+// reserve grows the row table and row buffer ahead of a batch of extra
+// insertions, so bulk loads never rehash mid-batch.
+func (ps *packShard) reserve(extra int) {
+	if (ps.used+ps.tombs+extra)*4 > len(ps.slots)*3 {
+		ps.growTable(ps.used + extra)
+	}
+	need := (ps.n + extra) * ps.arity
+	if cap(ps.rows) < need {
+		next := make([]uint64, len(ps.rows), need)
+		copy(next, ps.rows)
+		ps.rows = next
+	}
+}
+
+func (ps *packShard) growTable(target int) {
+	size := packTableMinSize
+	for target*4 >= size*3 {
+		size *= 2
+	}
+	oldH, oldS := ps.hashes, ps.slots
+	ps.hashes = make([]uint64, size)
+	ps.slots = rowEmptySlots(size)
+	ps.tombs = 0
+	mask := uint64(size - 1)
+	for i, r := range oldS {
+		if r == rowEmpty || r == rowTomb || ps.isDead(int(r)) {
+			continue
+		}
+		j := oldH[i] & mask
+		for ps.slots[j] != rowEmpty {
+			j = (j + 1) & mask
+		}
+		ps.hashes[j] = oldH[i]
+		ps.slots[j] = r
+	}
+}
+
+// append adds one encoded row (the caller checked it is new) and returns
+// its row number.
+func (ps *packShard) append(h uint64, ids []uint64) int {
+	row := ps.n
+	ps.rows = append(ps.rows, ids...)
+	ps.n++
+	ps.insert(h, row)
+	return row
+}
+
+// matchFact reports whether row equals pred(args...) structurally.  The
+// caller compared predicate symbols (the relation holds one predicate).
+func (ps *packShard) matchArgs(row int, args []term.Term) bool {
+	ids := ps.row(row)
+	if len(ids) != len(args) {
+		return false
+	}
+	for i, id := range ids {
+		if !term.Equal(decodeCell(id), args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// factOf inflates row into its canonical *term.Fact, memoized so the
+// canonical pointer is stable across calls.  Callers synchronize (the
+// relation's mu, or the single-writer insert path).
+func (ps *packShard) factOf(pred string, row int) *term.Fact {
+	if ps.inflated == nil {
+		ps.inflated = make([]*term.Fact, ps.n)
+	}
+	for row >= len(ps.inflated) {
+		ps.inflated = append(ps.inflated, nil)
+	}
+	if f := ps.inflated[row]; f != nil {
+		return f
+	}
+	ids := ps.row(row)
+	args := make([]term.Term, len(ids))
+	for i, id := range ids {
+		args[i] = decodeCell(id)
+	}
+	f := term.NewFact(pred, args...)
+	ps.inflated[row] = f
+	return f
+}
+
+// inflatedAt returns the memoized canonical fact for row, or nil if the
+// row was never inflated.
+func (ps *packShard) inflatedAt(row int) *term.Fact {
+	if row < len(ps.inflated) {
+		return ps.inflated[row]
+	}
+	return nil
+}
+
+// rowHash returns the structural fact hash of row, identical to the hash
+// the inflated *term.Fact would memoize.
+func (ps *packShard) rowHash(pred string, row int, scratch []term.Term) uint64 {
+	ids := ps.row(row)
+	for i, id := range ids {
+		scratch[i] = decodeCell(id)
+	}
+	return hashFactArgs(pred, scratch[:len(ids)])
+}
+
+// clone returns an independent copy sharing no mutable state.  Inflated
+// canonical pointers are shared — facts are immutable, and sharing keeps
+// fact identity consistent between a fork and its original.
+func (ps *packShard) clone() *packShard {
+	out := &packShard{
+		arity:   ps.arity,
+		rows:    append([]uint64(nil), ps.rows...),
+		n:       ps.n,
+		ndead:   ps.ndead,
+		flushed: ps.flushed,
+		used:    ps.used,
+		tombs:   ps.tombs,
+	}
+	if ps.dead != nil {
+		out.dead = append([]uint64(nil), ps.dead...)
+	}
+	if ps.inflated != nil {
+		out.inflated = append([]*term.Fact(nil), ps.inflated...)
+	}
+	out.hashes = append([]uint64(nil), ps.hashes...)
+	out.slots = append([]uint32(nil), ps.slots...)
+	return out
+}

@@ -1,0 +1,235 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ldl1/internal/term"
+)
+
+// randPackable builds a ground flat fact from fuzz-ish inputs.
+func packableFact(pred string, a int64, b, c string) *term.Fact {
+	return term.NewFact(pred, term.Int(a), term.Atom(b), term.Str(c))
+}
+
+// TestPackRoundTrip: encode → inflate → re-intern must yield the identical
+// canonical *term.Fact, with hashes and structure preserved.
+func TestPackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	fs := make([]*term.Fact, 0, 4000)
+	for i := 0; i < 4000; i++ {
+		fs = append(fs, packableFact("rt", int64(rng.Intn(1500)), fmt.Sprintf("a%d", rng.Intn(300)), fmt.Sprintf("s%d", rng.Intn(300))))
+	}
+	db := NewDBWith(Config{Shards: 4})
+	added := db.LoadFacts(fs, LoadOpts{Workers: 2, Pack: true})
+	r := db.RelOrNil("rt")
+	if r.PackedRows() != added {
+		t.Fatalf("PackedRows=%d, want %d", r.PackedRows(), added)
+	}
+
+	// Point lookups before inflation must produce stable canonical facts.
+	pre := map[string]*term.Fact{}
+	for _, f := range fs[:50] {
+		g, ok := r.Get(term.NewFact(f.Pred, append([]term.Term(nil), f.Args...)...))
+		if !ok || !term.EqualFacts(g, f) {
+			t.Fatalf("pre-inflation Get lost %s", f)
+		}
+		pre[f.Key()] = g
+	}
+
+	all := r.All() // inflates
+	if len(all) != added || r.Len() != added {
+		t.Fatalf("All=%d Len=%d, want %d", len(all), r.Len(), added)
+	}
+	seen := map[string]*term.Fact{}
+	for _, g := range all {
+		seen[g.Key()] = g
+	}
+	for _, f := range fs {
+		g := seen[f.Key()]
+		if g == nil {
+			t.Fatalf("inflation lost %s", f)
+		}
+		if !term.EqualFacts(g, f) || g.Hash() != f.Hash() {
+			t.Fatalf("inflated fact differs: %s vs %s", g, f)
+		}
+		// Re-interning the inflated value must return the same pointer.
+		ri, ok := r.Get(term.NewFact(g.Pred, append([]term.Term(nil), g.Args...)...))
+		if !ok || ri != g {
+			t.Fatalf("re-intern of %s not canonical", g)
+		}
+	}
+	// Facts inflated early must be the same pointers the full inflation kept.
+	for k, g := range pre {
+		if seen[k] != g {
+			t.Fatalf("canonical pointer for %s changed across inflateAll", k)
+		}
+	}
+}
+
+// FuzzPackRoundTrip fuzzes a single fact through pack → inflate → re-intern.
+func FuzzPackRoundTrip(f *testing.F) {
+	f.Add(int64(0), "a", "s")
+	f.Add(int64(-1), "", "π∂")
+	f.Add(int64(1<<62), "xyzzy", "\x00\xff")
+	f.Fuzz(func(t *testing.T, n int64, b, c string) {
+		fact := packableFact("fz", n, b, c)
+		r := NewRelation("fz", true)
+		if r.InsertBatch([]*term.Fact{fact, fact}, LoadOpts{Pack: true}) != 1 {
+			t.Fatal("batch dedup failed")
+		}
+		if r.PackedRows() != 1 {
+			t.Fatalf("PackedRows=%d", r.PackedRows())
+		}
+		all := r.All()
+		if len(all) != 1 || !term.EqualFacts(all[0], fact) || all[0].Hash() != fact.Hash() {
+			t.Fatalf("round trip mangled %s -> %v", fact, all)
+		}
+		if g, ok := r.Get(packableFact("fz", n, b, c)); !ok || g != all[0] {
+			t.Fatal("re-intern not canonical")
+		}
+		if !r.Delete(fact) || r.Len() != 0 {
+			t.Fatal("delete after round trip failed")
+		}
+	})
+}
+
+// TestPackConcurrentInflation hammers a packed relation with concurrent
+// structural and point reads: whichever reader triggers inflation, all of
+// them must agree on the canonical pointers and counts.  Run under -race
+// in CI.
+func TestPackConcurrentInflation(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		fs := make([]*term.Fact, 3000)
+		for i := range fs {
+			fs[i] = term.NewFact("ci", term.Int(int64(round)), term.Int(int64(i)))
+		}
+		db := NewDBWith(Config{Shards: 4})
+		db.LoadFacts(fs, LoadOpts{Workers: 4, Pack: true})
+		r := db.RelOrNil("ci")
+		var wg sync.WaitGroup
+		got := make([][]*term.Fact, 8)
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				switch w % 3 {
+				case 0:
+					got[w] = r.All()
+				case 1:
+					// Point reads race the inflation.
+					for i := 0; i < len(fs); i += 7 {
+						if g, ok := r.Get(fs[i]); !ok || !term.EqualFacts(g, fs[i]) {
+							panic("Get lost a fact during inflation")
+						}
+					}
+					got[w] = r.All()
+				default:
+					out, _ := r.LookupCols([]int{0}, []term.Term{term.Int(int64(round))})
+					if len(out) != len(fs) {
+						panic(fmt.Sprintf("LookupCols saw %d of %d", len(out), len(fs)))
+					}
+					got[w] = r.All()
+				}
+			}(w)
+		}
+		wg.Wait()
+		for w := 1; w < len(got); w++ {
+			if len(got[0]) != len(got[w]) {
+				t.Fatalf("reader %d saw %d facts, reader 0 saw %d", w, len(got[w]), len(got[0]))
+			}
+			for i := range got[0] {
+				if got[0][i] != got[w][i] {
+					t.Fatalf("readers disagree on canonical pointer at %d", i)
+				}
+			}
+		}
+	}
+}
+
+// TestPackDeleteAndReinsert exercises the packed delete paths before and
+// after inflation, including re-insertion of a deleted value.
+func TestPackDeleteAndReinsert(t *testing.T) {
+	fs := make([]*term.Fact, 100)
+	for i := range fs {
+		fs[i] = f("d", i, i+1)
+	}
+	r := NewRelation("d", true)
+	r.InsertBatch(fs, LoadOpts{Pack: true})
+
+	// Delete while packed (row never materialized).
+	if !r.Delete(f("d", 3, 4)) || r.Delete(f("d", 3, 4)) {
+		t.Fatal("packed delete wrong")
+	}
+	if r.Len() != 99 || r.Contains(f("d", 3, 4)) {
+		t.Fatalf("Len=%d after packed delete", r.Len())
+	}
+	// Re-insert the deleted value: must come back as a new fact.
+	if !r.Insert(f("d", 3, 4)) || r.Len() != 100 {
+		t.Fatal("re-insert after packed delete failed")
+	}
+
+	if len(r.All()) != 100 {
+		t.Fatalf("All=%d", len(r.All()))
+	}
+	// Delete after inflation (row materialized in the facts slice).
+	if !r.Delete(f("d", 10, 11)) || r.Len() != 99 || len(r.All()) != 99 {
+		t.Fatal("post-inflation delete wrong")
+	}
+	for _, g := range r.All() {
+		if term.EqualFacts(g, f("d", 10, 11)) {
+			t.Fatal("deleted fact still in All()")
+		}
+	}
+	// Batch delete mixing materialized rows and misses.
+	n := r.DeleteAll([]*term.Fact{f("d", 0, 1), f("d", 10, 11), f("d", 50, 51)})
+	if n != 2 || r.Len() != 97 {
+		t.Fatalf("DeleteAll removed %d, Len=%d", n, r.Len())
+	}
+}
+
+// TestPackUnpackableMix: facts with compound or set arguments ride the
+// pointer path alongside packed rows, and both survive inflation.
+func TestPackUnpackableMix(t *testing.T) {
+	flat := f("m", 1, 2)
+	deep := term.NewFact("m", term.NewCompound("g", term.Int(1)), term.Int(2))
+	zero := term.NewFact("m")
+	r := NewRelation("m", true)
+	if r.InsertBatch([]*term.Fact{flat, deep, zero}, LoadOpts{Pack: true}) != 3 {
+		t.Fatal("mixed batch lost facts")
+	}
+	if r.PackedRows() != 1 {
+		t.Fatalf("PackedRows=%d, want 1 (only the flat fact)", r.PackedRows())
+	}
+	if !r.Contains(deep) || !r.Contains(zero) || !r.Contains(flat) {
+		t.Fatal("Contains misses mixed facts")
+	}
+	if len(r.All()) != 3 || r.Len() != 3 {
+		t.Fatalf("All=%d Len=%d", len(r.All()), r.Len())
+	}
+}
+
+// TestPackSkippedWhenIndexed: a relation that already built an index keeps
+// the pointer representation (packing would strand the index).
+func TestPackSkippedWhenIndexed(t *testing.T) {
+	r := NewRelation("ix", true)
+	for i := 0; i < 32; i++ {
+		r.Insert(f("ix", i, i))
+	}
+	r.Lookup(0, term.Int(3)) // builds the index
+	fs := make([]*term.Fact, 64)
+	for i := range fs {
+		fs[i] = f("ix", 100+i, i)
+	}
+	if r.InsertBatch(fs, LoadOpts{Pack: true}) != 64 {
+		t.Fatal("batch lost facts")
+	}
+	if r.PackedRows() != 0 {
+		t.Fatalf("PackedRows=%d on indexed relation, want 0", r.PackedRows())
+	}
+	if got := r.Lookup(0, term.Int(110)); len(got) != 1 {
+		t.Fatalf("index not maintained through batch: %v", got)
+	}
+}

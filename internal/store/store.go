@@ -9,6 +9,16 @@
 // relation's canonical *term.Fact for the value, so downstream consumers
 // (deltas, indexes, provenance) share one interned fact pointer per U-fact
 // and equality checks usually short-circuit on pointer identity.
+//
+// Relations are hash-sharded: a fixed power-of-two array of shards,
+// selected by the top bits of the fact hash (the intern tables consume the
+// low bits), each owning its slice of the intern table and its packed
+// rows.  Relations built by single-fact Insert stay single-shard — the
+// historical layout — and a large InsertBatch reshards them so fact
+// interning runs shard-parallel and table resizes are per-shard.  Ground
+// flat facts can additionally be stored packed (see pack.go): one row of
+// interned-constant IDs instead of a heap *term.Fact, inflated lazily the
+// first time a caller needs term structure.
 package store
 
 import (
@@ -30,12 +40,17 @@ var (
 	hashFactArgs = term.HashFactArgs
 )
 
-// IndexThreshold is the relation size below which Lookup scans instead of
-// building a hash index: constructing per-column maps over a handful of
-// facts (semi-naive delta chunks especially) costs more than the scans it
-// saves.  An index already built while the relation was larger keeps
-// serving lookups; relations only grow, so the threshold is crossed once.
+// IndexThreshold is the default relation size below which Lookup scans
+// instead of building a hash index: constructing per-column maps over a
+// handful of facts (semi-naive delta chunks especially) costs more than the
+// scans it saves.  An index already built while the relation was larger
+// keeps serving lookups.  Config.IndexThreshold overrides it per database.
 const IndexThreshold = 16
+
+// reshardMin is the batch size below which InsertBatch never reshards a
+// relation: spreading a few hundred facts over shards costs more in fixed
+// per-shard state than parallel interning recovers.
+const reshardMin = 1024
 
 // idxEntry is one distinct probe key in an index: the facts whose indexed
 // columns equal vals, plus a chain link for the (astronomically rare) case
@@ -51,7 +66,10 @@ type idxEntry struct {
 // cols order; collisions are resolved by structural comparison of vals.
 // An index is built once under Relation.mu and is immutable in shape
 // afterwards; only Insert (single-writer, between rounds) appends to its
-// buckets.
+// buckets.  Indexes are relation-global, not per-shard: a per-shard split
+// would multiply every probe on the hot join path by the shard count, so
+// indexes are built over the merged (and, for packed relations, inflated)
+// view instead.
 type index struct {
 	mask uint64 // bit c set ⇔ column c indexed
 	cols []int  // ascending
@@ -179,29 +197,55 @@ func (ix *index) probe(vals []term.Term) []*term.Fact {
 	return nil
 }
 
-// Relation is a set of U-facts for one predicate.
-//
-// Concurrency: Insert is single-writer; Lookup and All may run from many
-// goroutines BETWEEN writes (the parallel evaluator derives into private
-// buffers and merges single-threaded).  The index list is an immutable
-// snapshot behind an atomic pointer: probes against built indexes take no
-// lock at all, and only the first build per column set serializes on mu
-// (double-checked, so racing builders agree on one index).
-type Relation struct {
-	Name    string
-	facts   []*term.Fact // insertion order
-	table   *factTable   // interned fact identity; nil for chunks until first Insert
-	mu      sync.Mutex   // guards index construction only
-	indexes atomic.Pointer[[]*index]
-	useIdx  bool
+// relShard is one hash shard of a relation: its slice of the intern table
+// plus, for bulk-loaded relations, its packed rows.
+type relShard struct {
+	table *factTable
+	pack  *packShard
 }
 
-// NewRelation creates an empty relation.
+// Relation is a set of U-facts for one predicate.
+//
+// Concurrency: Insert is single-writer; Lookup, All and Get may run from
+// many goroutines BETWEEN writes (the parallel evaluator derives into
+// private buffers and merges single-threaded).  The index list is an
+// immutable snapshot behind an atomic pointer: probes against built
+// indexes take no lock at all, and only the first build per column set
+// serializes on mu (double-checked, so racing builders agree on one
+// index).
+//
+// Packed rows add one read-triggered mutation: inflation.  The packed
+// flag is an atomic with release/acquire semantics — inflateAll writes
+// the combined facts slice and the per-row fact memos before storing
+// false, so a reader that loads false may touch both lock-free; a reader
+// that loads true serializes row inflation on mu.  Between writes the
+// pack's rows, hashes and slot tables are immutable, so lock-free probes
+// against them are safe.
+type Relation struct {
+	Name      string
+	facts     []*term.Fact // materialized facts, insertion order
+	shards    []relShard   // power-of-two; nil for chunks until first point op
+	shardBits uint
+	live      int         // total live facts, including unmaterialized packed rows
+	packed    atomic.Bool // true while some shard holds uninflated packed rows
+	mu        sync.Mutex  // guards index construction and row inflation
+	indexes   atomic.Pointer[[]*index]
+	useIdx    bool
+	threshold int // index-build cutoff; IndexThreshold when 0
+}
+
+// NewRelation creates an empty relation with the package-default index
+// threshold.
 func NewRelation(name string, useIndexes bool) *Relation {
+	return newRelationCfg(name, useIndexes, IndexThreshold)
+}
+
+func newRelationCfg(name string, useIndexes bool, threshold int) *Relation {
 	return &Relation{
-		Name:   name,
-		table:  newFactTable(0),
-		useIdx: useIndexes,
+		Name:      name,
+		shards:    []relShard{{table: newFactTable(0)}},
+		useIdx:    useIndexes,
+		threshold: threshold,
 	}
 }
 
@@ -211,40 +255,182 @@ func NewRelation(name string, useIndexes bool) *Relation {
 // facts slice is owned by the chunk.  Insert still works: the first call
 // rebuilds the buckets from the existing facts.
 func NewChunk(name string, facts []*term.Fact, useIndexes bool) *Relation {
-	return &Relation{Name: name, facts: facts[:len(facts):len(facts)], useIdx: useIndexes}
+	return &Relation{
+		Name:      name,
+		facts:     facts[:len(facts):len(facts)],
+		live:      len(facts),
+		useIdx:    useIndexes,
+		threshold: IndexThreshold,
+	}
 }
 
-// Len returns the number of facts.
-func (r *Relation) Len() int { return len(r.facts) }
+// ensureTables builds the intern table from the fact slice; only chunk
+// relations (NewChunk) ever take this path, and only if someone performs a
+// point operation on them after construction.
+func (r *Relation) ensureTables() {
+	if r.shards != nil {
+		return
+	}
+	t := newFactTable(len(r.facts))
+	for _, g := range r.facts {
+		t.insert(hashFact(g), g)
+	}
+	r.shards = []relShard{{table: t}}
+}
 
-// All returns the facts in insertion order.  Callers must not mutate the
-// returned slice.
-func (r *Relation) All() []*term.Fact { return r.facts }
+// shardOf maps a fact hash to its shard: the top hash bits, because the
+// intern tables and packed row tables consume the low bits.
+func (r *Relation) shardOf(h uint64) int {
+	if r.shardBits == 0 {
+		return 0
+	}
+	return int(h >> (64 - r.shardBits))
+}
 
-// Contains reports whether the relation holds the fact.
+// Len returns the number of facts, packed rows included.
+func (r *Relation) Len() int { return r.live }
+
+// ShardCount returns the relation's current shard count.
+func (r *Relation) ShardCount() int {
+	if r.shards == nil {
+		return 1
+	}
+	return len(r.shards)
+}
+
+// PackedRows returns the number of live facts currently held as packed
+// rows (materialized or not) rather than as reachable-only *term.Fact.
+func (r *Relation) PackedRows() int {
+	n := 0
+	for si := range r.shards {
+		if ps := r.shards[si].pack; ps != nil {
+			n += ps.live()
+		}
+	}
+	return n
+}
+
+// All returns the facts in insertion order (packed rows materialize in
+// shard-major batch order after the facts inserted singly before them).
+// Callers must not mutate the returned slice.
+func (r *Relation) All() []*term.Fact {
+	if r.packed.Load() {
+		r.inflateAll()
+	}
+	return r.facts
+}
+
+// inflateAll materializes every not-yet-flushed packed row into the facts
+// slice, memoizing the canonical fact per row.  Concurrent callers (All
+// and LookupCols may race from parallel readers) serialize on mu; the
+// facts slice and row memos are fully written before packed is cleared,
+// so lock-free readers that observe packed == false see them complete.
+func (r *Relation) inflateAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.packed.Load() {
+		return
+	}
+	var arena term.FactArena
+	combined := make([]*term.Fact, len(r.facts), r.live)
+	copy(combined, r.facts)
+	var scratch []term.Term
+	for si := range r.shards {
+		ps := r.shards[si].pack
+		if ps == nil || ps.flushed == ps.n {
+			continue
+		}
+		if ps.inflated == nil {
+			ps.inflated = make([]*term.Fact, ps.n)
+		}
+		for len(ps.inflated) < ps.n {
+			ps.inflated = append(ps.inflated, nil)
+		}
+		if cap(scratch) < ps.arity {
+			scratch = make([]term.Term, ps.arity)
+		}
+		for row := ps.flushed; row < ps.n; row++ {
+			if ps.isDead(row) {
+				continue
+			}
+			f := ps.inflated[row]
+			if f == nil {
+				ids := ps.row(row)
+				for i, id := range ids {
+					scratch[i] = decodeCell(id)
+				}
+				f = arena.NewFact(r.Name, scratch[:len(ids)])
+				ps.inflated[row] = f
+			}
+			combined = append(combined, f)
+		}
+		ps.flushed = ps.n
+	}
+	r.facts = combined
+	r.packed.Store(false)
+}
+
+// packFact returns the canonical fact for a live packed row.  After full
+// inflation the memo is complete and read lock-free; while uninflated rows
+// remain, single-row inflation serializes on mu so concurrent readers
+// agree on one canonical pointer.
+func (r *Relation) packFact(ps *packShard, row int) *term.Fact {
+	if !r.packed.Load() {
+		return ps.inflated[row]
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ps.factOf(r.Name, row)
+}
+
+// Contains reports whether the relation holds the fact.  Unlike Get it
+// never inflates a packed row.
 func (r *Relation) Contains(f *term.Fact) bool {
-	g, _ := r.Get(f)
-	return g != nil
+	r.ensureTables()
+	h := hashFact(f)
+	sh := &r.shards[r.shardOf(h)]
+	if sh.table.get(h, f) != nil {
+		return true
+	}
+	if ps := sh.pack; ps != nil && f.Pred == r.Name {
+		_, ok := ps.find(h, func(row int) bool { return ps.matchArgs(row, f.Args) })
+		return ok
+	}
+	return false
 }
 
 // Get returns the relation's canonical fact equal to f, or nil.
 func (r *Relation) Get(f *term.Fact) (*term.Fact, bool) {
-	if r.table == nil {
-		r.rebuildTable()
+	r.ensureTables()
+	h := hashFact(f)
+	sh := &r.shards[r.shardOf(h)]
+	if g := sh.table.get(h, f); g != nil {
+		return g, true
 	}
-	g := r.table.get(hashFact(f), f)
-	return g, g != nil
+	if ps := sh.pack; ps != nil && f.Pred == r.Name {
+		if row, ok := ps.find(h, func(row int) bool { return ps.matchArgs(row, f.Args) }); ok {
+			return r.packFact(ps, row), true
+		}
+	}
+	return nil, false
 }
 
 // GetArgs returns the relation's canonical fact for Name(args...), without
 // requiring the fact to be constructed: evaluators probe it per firing and
 // allocate only when the derivation is genuinely new.
 func (r *Relation) GetArgs(args []term.Term) (*term.Fact, bool) {
-	if r.table == nil {
-		r.rebuildTable()
+	r.ensureTables()
+	h := hashFactArgs(r.Name, args)
+	sh := &r.shards[r.shardOf(h)]
+	if g := sh.table.getArgs(h, r.Name, args); g != nil {
+		return g, true
 	}
-	g := r.table.getArgs(hashFactArgs(r.Name, args), r.Name, args)
-	return g, g != nil
+	if ps := sh.pack; ps != nil {
+		if row, ok := ps.find(h, func(row int) bool { return ps.matchArgs(row, args) }); ok {
+			return r.packFact(ps, row), true
+		}
+	}
+	return nil, false
 }
 
 // Insert adds the fact, reporting whether it was new.
@@ -257,15 +443,20 @@ func (r *Relation) Insert(f *term.Fact) bool {
 // (interned) fact for the value and whether f was newly added.  Every
 // built index is maintained incrementally.
 func (r *Relation) InsertGet(f *term.Fact) (*term.Fact, bool) {
-	if r.table == nil {
-		r.rebuildTable()
-	}
+	r.ensureTables()
 	h := hashFact(f)
-	if g := r.table.get(h, f); g != nil {
+	sh := &r.shards[r.shardOf(h)]
+	if g := sh.table.get(h, f); g != nil {
 		return g, false
 	}
-	r.table.insert(h, f)
+	if ps := sh.pack; ps != nil && f.Pred == r.Name {
+		if row, ok := ps.find(h, func(row int) bool { return ps.matchArgs(row, f.Args) }); ok {
+			return r.packFact(ps, row), false
+		}
+	}
+	sh.table.insert(h, f)
 	r.facts = append(r.facts, f)
+	r.live++
 	if p := r.indexes.Load(); p != nil {
 		for _, ix := range *p {
 			ix.add(f)
@@ -274,29 +465,57 @@ func (r *Relation) InsertGet(f *term.Fact) (*term.Fact, bool) {
 	return f, true
 }
 
+// spliceFact removes the canonical pointer g from the insertion-order
+// slice, preserving the relative order of the survivors.
+func (r *Relation) spliceFact(g *term.Fact) {
+	for i, x := range r.facts {
+		if x == g {
+			r.facts = append(r.facts[:i], r.facts[i+1:]...)
+			return
+		}
+	}
+}
+
 // Delete removes the fact equal to f, reporting whether it was present.
 // The insertion order of the surviving facts is unchanged — All() remains a
 // stable snapshot ordering under retraction — and every built index is
 // maintained in place.  Like Insert, Delete is single-writer.
 func (r *Relation) Delete(f *term.Fact) bool {
-	if r.table == nil {
-		r.rebuildTable()
-	}
+	r.ensureTables()
 	h := hashFact(f)
-	g := r.table.get(h, f)
-	if g == nil {
+	sh := &r.shards[r.shardOf(h)]
+	if g := sh.table.get(h, f); g != nil {
+		sh.table.remove(h, g)
+		r.spliceFact(g)
+		r.live--
+		if p := r.indexes.Load(); p != nil {
+			for _, ix := range *p {
+				ix.remove(g)
+			}
+		}
+		return true
+	}
+	ps := sh.pack
+	if ps == nil || f.Pred != r.Name {
 		return false
 	}
-	r.table.remove(h, g)
-	for i, x := range r.facts {
-		if x == g {
-			r.facts = append(r.facts[:i], r.facts[i+1:]...)
-			break
-		}
+	row, ok := ps.find(h, func(row int) bool { return ps.matchArgs(row, f.Args) })
+	if !ok {
+		return false
 	}
-	if p := r.indexes.Load(); p != nil {
-		for _, ix := range *p {
-			ix.remove(g)
+	g := ps.inflatedAt(row)
+	ps.remove(h, row)
+	ps.markDead(row)
+	r.live--
+	if row < ps.flushed {
+		// Flushed rows are materialized in the facts slice (and always
+		// memoized), so the pointer side must be maintained too; indexes
+		// can only exist once every row is flushed.
+		r.spliceFact(g)
+		if p := r.indexes.Load(); p != nil {
+			for _, ix := range *p {
+				ix.remove(g)
+			}
 		}
 	}
 	return true
@@ -312,57 +531,71 @@ func (r *Relation) DeleteAll(fs []*term.Fact) int {
 	if len(fs) == 0 {
 		return 0
 	}
-	if r.table == nil {
-		r.rebuildTable()
-	}
+	r.ensureTables()
 	victims := make(map[*term.Fact]bool, len(fs))
 	removed := make([]*term.Fact, 0, len(fs))
+	packOnly := 0
 	for _, f := range fs {
 		h := hashFact(f)
-		g := r.table.get(h, f)
-		if g == nil {
+		sh := &r.shards[r.shardOf(h)]
+		if g := sh.table.get(h, f); g != nil {
+			sh.table.remove(h, g)
+			victims[g] = true
+			removed = append(removed, g)
 			continue
 		}
-		r.table.remove(h, g)
-		victims[g] = true
-		removed = append(removed, g)
-	}
-	if len(removed) == 0 {
-		return 0
-	}
-	kept := r.facts[:0]
-	for _, x := range r.facts {
-		if !victims[x] {
-			kept = append(kept, x)
+		ps := sh.pack
+		if ps == nil || f.Pred != r.Name {
+			continue
+		}
+		row, ok := ps.find(h, func(row int) bool { return ps.matchArgs(row, f.Args) })
+		if !ok {
+			continue
+		}
+		g := ps.inflatedAt(row)
+		ps.remove(h, row)
+		ps.markDead(row)
+		if row < ps.flushed {
+			victims[g] = true
+			removed = append(removed, g)
+		} else {
+			packOnly++
 		}
 	}
-	for i := len(kept); i < len(r.facts); i++ {
-		r.facts[i] = nil // release the tail for the GC
+	if len(removed)+packOnly == 0 {
+		return 0
 	}
-	r.facts = kept
-	if p := r.indexes.Load(); p != nil {
-		for _, g := range removed {
-			for _, ix := range *p {
-				ix.remove(g)
+	if len(removed) > 0 {
+		kept := r.facts[:0]
+		for _, x := range r.facts {
+			if !victims[x] {
+				kept = append(kept, x)
+			}
+		}
+		for i := len(kept); i < len(r.facts); i++ {
+			r.facts[i] = nil // release the tail for the GC
+		}
+		r.facts = kept
+		if p := r.indexes.Load(); p != nil {
+			for _, g := range removed {
+				for _, ix := range *p {
+					ix.remove(g)
+				}
 			}
 		}
 	}
-	return len(removed)
+	n := len(removed) + packOnly
+	r.live -= n
+	return n
 }
 
 // cloneForWrite returns a private copy sharing no mutable state with r:
-// the facts slice, interning table, and built indexes are all copied, so
-// the copy is immediately writable and keeps serving indexed probes
-// without a rebuild.  Fact pointers are shared — facts are immutable.
+// the facts slice, interning tables, packed rows, and built indexes are
+// all copied, so the copy is immediately writable and keeps serving
+// indexed probes without a rebuild.  Fact pointers are shared — facts are
+// immutable.
 func (r *Relation) cloneForWrite() *Relation {
-	nr := &Relation{
-		Name:   r.Name,
-		facts:  append([]*term.Fact(nil), r.facts...),
-		useIdx: r.useIdx,
-	}
-	if r.table != nil {
-		nr.table = r.table.clone()
-	}
+	nr := r.cloneBase()
 	if p := r.indexes.Load(); p != nil {
 		next := make([]*index, len(*p))
 		for i, ix := range *p {
@@ -373,14 +606,29 @@ func (r *Relation) cloneForWrite() *Relation {
 	return nr
 }
 
-// rebuildTable constructs the interning table from the fact slice; only
-// chunk relations (NewChunk) ever take this path, and only if someone
-// inserts into them after construction.
-func (r *Relation) rebuildTable() {
-	r.table = newFactTable(len(r.facts))
-	for _, g := range r.facts {
-		r.table.insert(hashFact(g), g)
+// cloneBase copies everything except indexes (which rebuild on demand).
+func (r *Relation) cloneBase() *Relation {
+	nr := &Relation{
+		Name:      r.Name,
+		facts:     append([]*term.Fact(nil), r.facts...),
+		shardBits: r.shardBits,
+		live:      r.live,
+		useIdx:    r.useIdx,
+		threshold: r.threshold,
 	}
+	if r.shards != nil {
+		nr.shards = make([]relShard, len(r.shards))
+		for i := range r.shards {
+			if t := r.shards[i].table; t != nil {
+				nr.shards[i].table = t.clone()
+			}
+			if ps := r.shards[i].pack; ps != nil {
+				nr.shards[i].pack = ps.clone()
+			}
+		}
+	}
+	nr.packed.Store(r.packed.Load())
+	return nr
 }
 
 // findIndex returns the built index for the column mask, if any.  It is
@@ -398,7 +646,8 @@ func (r *Relation) findIndex(mask uint64) *index {
 
 // buildIndex constructs the index for the column set and publishes a new
 // snapshot.  Concurrent builders for the same mask serialize on mu and
-// agree on the winner's index.
+// agree on the winner's index.  The caller inflated the relation first
+// (LookupCols goes through All), so every fact is materialized.
 func (r *Relation) buildIndex(mask uint64, cols []int) *index {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -445,14 +694,23 @@ scan:
 // indexing enabled and at least IndexThreshold facts, the first probe per
 // column set builds a composite hash index that Insert then maintains; the
 // second return reports whether an index (rather than a scan) served the
-// probe.  Reads never lock once the index exists.
+// probe.  Reads never lock once the index exists.  Packed relations are
+// inflated on the first structural read — scans and indexes need term
+// structure.
 func (r *Relation) LookupCols(cols []int, vals []term.Term) ([]*term.Fact, bool) {
+	if r.packed.Load() {
+		r.inflateAll()
+	}
 	if r.useIdx && len(cols) > 0 {
 		if mask, ok := colsMask(cols); ok {
 			if ix := r.findIndex(mask); ix != nil {
 				return ix.probe(vals), true
 			}
-			if len(r.facts) >= IndexThreshold {
+			th := r.threshold
+			if th <= 0 {
+				th = IndexThreshold
+			}
+			if r.live >= th {
 				return r.buildIndex(mask, cols).probe(vals), true
 			}
 		}
@@ -493,22 +751,62 @@ type DB struct {
 	// databases that never forked.
 	shared     map[string]bool
 	UseIndexes bool
+	cfg        Config
+
+	// size caches Len(): maintained by the DB-level mutation methods,
+	// atomic because published model snapshots answer Len from concurrent
+	// readers.  leaked turns the cache off permanently once a mutable
+	// *Relation escapes through Rel/MutableRel — the DB can no longer see
+	// every mutation, so Len falls back to summing per-relation counts
+	// (still O(#relations), never O(#facts)).
+	size   atomic.Int64
+	leaked bool
 }
 
-// NewDB creates an empty database with indexing enabled.
-func NewDB() *DB {
-	return &DB{rels: make(map[string]*Relation), UseIndexes: true}
+// NewDB creates an empty database with indexing enabled and the default
+// configuration (LDL1_STORE_SHARDS honored).
+func NewDB() *DB { return NewDBWith(DefaultConfig()) }
+
+// NewDBWith creates an empty database with indexing enabled and the given
+// store configuration (normalized: shard counts clamp to a power of two).
+func NewDBWith(cfg Config) *DB {
+	return &DB{rels: make(map[string]*Relation), UseIndexes: true, cfg: cfg.normalize()}
 }
 
-// Rel returns the relation for pred, creating it if needed.
-func (db *DB) Rel(pred string) *Relation {
+// Config returns the database's normalized store configuration.
+func (db *DB) Config() Config { return db.cfg }
+
+// rel returns the relation for pred, creating it if needed, without
+// disabling the size cache — internal mutation paths account for their own
+// insertions and deletions.
+func (db *DB) rel(pred string) *Relation {
 	r, ok := db.rels[pred]
 	if !ok {
-		r = NewRelation(pred, db.UseIndexes)
+		r = newRelationCfg(pred, db.UseIndexes, db.cfg.IndexThreshold)
 		db.rels[pred] = r
 		db.order = append(db.order, pred)
 	}
 	return r
+}
+
+// mutableRel is MutableRel without the size-cache leak: the relation is
+// unshared if needed but the caller promises to report size changes.
+func (db *DB) mutableRel(pred string) *Relation {
+	r := db.rel(pred)
+	if db.shared != nil && db.shared[pred] {
+		r = r.cloneForWrite()
+		db.rels[pred] = r
+		delete(db.shared, pred)
+	}
+	return r
+}
+
+// Rel returns the relation for pred, creating it if needed.  The returned
+// relation is mutable, so the cached DB fact count is disabled from here
+// on (Len degrades to summing per-relation counts).
+func (db *DB) Rel(pred string) *Relation {
+	db.leaked = true
+	return db.rel(pred)
 }
 
 // Has reports whether a relation exists for pred (even if empty).
@@ -519,26 +817,38 @@ func (db *DB) Has(pred string) bool {
 
 // RelOrNil returns the relation for pred without creating it.  Unlike Rel
 // it never mutates the database, so concurrent readers (parallel rule
-// workers) may call it while no writer is active.
+// workers) may call it while no writer is active.  Callers must treat the
+// result as read-only; mutating it bypasses fork-sharing and the Len
+// cache.
 func (db *DB) RelOrNil(pred string) *Relation {
 	return db.rels[pred]
 }
 
 // MutableRel returns the relation for pred, guaranteed safe to mutate:
 // relations still shared with the database this one was Forked from are
-// unshared (facts and interning table copied) first.
+// unshared (facts and interning table copied) first.  Like Rel, it
+// disables the cached DB fact count.
 func (db *DB) MutableRel(pred string) *Relation {
-	r := db.Rel(pred)
-	if db.shared != nil && db.shared[pred] {
-		r = r.cloneForWrite()
-		db.rels[pred] = r
-		delete(db.shared, pred)
+	db.leaked = true
+	return db.mutableRel(pred)
+}
+
+// sizeAdd maintains the cached fact count across an internal mutation.
+func (db *DB) sizeAdd(d int) {
+	if db.leaked || d == 0 {
+		return
 	}
-	return r
+	db.size.Add(int64(d))
 }
 
 // Insert adds a fact, reporting whether it was new.
-func (db *DB) Insert(f *term.Fact) bool { return db.MutableRel(f.Pred).Insert(f) }
+func (db *DB) Insert(f *term.Fact) bool {
+	if db.mutableRel(f.Pred).Insert(f) {
+		db.sizeAdd(1)
+		return true
+	}
+	return false
+}
 
 // Delete removes a fact, reporting whether it was present.  A relation
 // shared with a forked-from database is unshared only when the fact is
@@ -548,7 +858,11 @@ func (db *DB) Delete(f *term.Fact) bool {
 	if !ok || !r.Contains(f) {
 		return false
 	}
-	return db.MutableRel(f.Pred).Delete(f)
+	if db.mutableRel(f.Pred).Delete(f) {
+		db.sizeAdd(-1)
+		return true
+	}
+	return false
 }
 
 // DeleteAll removes every listed fact present in the database, returning
@@ -569,8 +883,9 @@ func (db *DB) DeleteAll(fs []*term.Fact) int {
 	}
 	n := 0
 	for _, p := range order {
-		n += db.MutableRel(p).DeleteAll(byPred[p])
+		n += db.mutableRel(p).DeleteAll(byPred[p])
 	}
+	db.sizeAdd(-n)
 	return n
 }
 
@@ -590,8 +905,14 @@ func (db *DB) Contains(f *term.Fact) bool {
 	return ok && r.Contains(f)
 }
 
-// Len returns the total number of facts.
+// Len returns the total number of facts.  While the database is mutated
+// only through DB-level methods the count is maintained incrementally;
+// once a mutable relation escapes through Rel/MutableRel it is recomputed
+// by summing the per-relation counts (O(#relations), not O(#facts)).
 func (db *DB) Len() int {
+	if !db.leaked {
+		return int(db.size.Load())
+	}
 	n := 0
 	for _, r := range db.rels {
 		n += r.Len()
@@ -606,31 +927,37 @@ func (db *DB) Preds() []string {
 	return out
 }
 
-// Facts returns all facts, relation by relation in creation order.
+// Facts returns all facts, relation by relation in sorted predicate order
+// — deterministic regardless of the order relations were created or
+// loaded in.  Within a relation, facts appear in insertion order.
 func (db *DB) Facts() []*term.Fact {
+	preds := make([]string, len(db.order))
+	copy(preds, db.order)
+	sort.Strings(preds)
 	out := make([]*term.Fact, 0, db.Len())
-	for _, p := range db.order {
-		out = append(out, db.rels[p].facts...)
+	for _, p := range preds {
+		out = append(out, db.rels[p].All()...)
 	}
 	return out
 }
 
 // Clone returns an independent copy of the database.  Facts are shared
-// (they are immutable); relation bookkeeping is copied.  Indexes are not
-// cloned — the copy rebuilds them on demand.
+// (they are immutable); relation bookkeeping — interning tables and packed
+// rows included — is copied.  Indexes are not cloned — the copy rebuilds
+// them on demand.
 func (db *DB) Clone() *DB {
-	out := NewDB()
+	out := NewDBWith(db.cfg)
 	out.UseIndexes = db.UseIndexes
+	n := 0
 	for _, p := range db.order {
 		r := db.rels[p]
-		nr := out.Rel(p)
-		nr.facts = append(nr.facts, r.facts...)
-		if r.table == nil {
-			nr.rebuildTable()
-		} else {
-			nr.table = r.table.clone()
-		}
+		nr := r.cloneBase()
+		nr.indexes = atomic.Pointer[[]*index]{} // rebuild on demand
+		out.rels[p] = nr
+		out.order = append(out.order, p)
+		n += nr.Len()
 	}
+	out.size.Store(int64(n))
 	return out
 }
 
@@ -647,7 +974,10 @@ func (db *DB) Fork() *DB {
 		order:      append([]string(nil), db.order...),
 		shared:     make(map[string]bool, len(db.rels)),
 		UseIndexes: db.UseIndexes,
+		cfg:        db.cfg,
+		leaked:     db.leaked,
 	}
+	out.size.Store(db.size.Load())
 	for p, r := range db.rels {
 		out.rels[p] = r
 		out.shared[p] = true
@@ -656,13 +986,18 @@ func (db *DB) Fork() *DB {
 }
 
 // AddAll inserts every fact of src, reporting the number of new facts.
+// Each source relation is spliced in through the batch path, so tables are
+// pre-sized once per relation instead of grown insert by insert.
 func (db *DB) AddAll(src *DB) int {
 	n := 0
-	for _, f := range src.Facts() {
-		if db.Insert(f) {
-			n++
+	for _, p := range src.Preds() {
+		sr := src.rels[p]
+		if sr == nil || sr.Len() == 0 {
+			continue
 		}
+		n += db.mutableRel(p).InsertBatch(sr.All(), LoadOpts{})
 	}
+	db.sizeAdd(n)
 	return n
 }
 

@@ -1,0 +1,46 @@
+package term
+
+// FactArena bulk-allocates facts for inflation paths: decoding a packed
+// relation back to *term.Fact would otherwise cost two heap objects per
+// fact (the Fact header and its Args backing array), each separately
+// traced by the garbage collector.  The arena carves both out of large
+// chunks, collapsing a million tiny allocations into a few hundred and
+// giving the GC contiguous spans to scan.
+//
+// Facts returned by NewFact are ordinary canonical facts (eagerly hashed,
+// immutable); they keep their whole chunk alive, which is the right trade
+// for inflating relations whose facts live as long as the store anyway.
+// An arena is not safe for concurrent use; inflation paths allocate one
+// arena per goroutine.
+type FactArena struct {
+	facts []Fact
+	terms []Term
+}
+
+const (
+	arenaFactChunk = 1024
+	arenaTermChunk = 4096
+)
+
+// NewFact returns the canonical fact pred(args...), with the Fact header
+// and a private copy of args allocated from the arena's chunks.
+func (a *FactArena) NewFact(pred string, args []Term) *Fact {
+	if len(a.facts) == cap(a.facts) {
+		a.facts = make([]Fact, 0, arenaFactChunk)
+	}
+	n := len(args)
+	if cap(a.terms)-len(a.terms) < n {
+		c := arenaTermChunk
+		if c < n {
+			c = n
+		}
+		a.terms = make([]Term, 0, c)
+	}
+	seg := a.terms[len(a.terms) : len(a.terms)+n : len(a.terms)+n]
+	copy(seg, args)
+	a.terms = a.terms[:len(a.terms)+n]
+	a.facts = append(a.facts, Fact{Pred: pred, Args: seg})
+	f := &a.facts[len(a.facts)-1]
+	f.Hash()
+	return f
+}

@@ -332,3 +332,30 @@ func Merge(dbs ...*store.DB) *store.DB {
 	}
 	return out
 }
+
+// ScaleFacts returns n ground flat edge facts for the s* scale-sweep
+// benchmarks: 2-ary edge(A, B) over a universe of about n/4 distinct
+// integers, so inserts collide realistically and packed encodings amortize
+// their constant dictionary.  Values are offset by base so independent
+// callers (the sweep's load variants) intern disjoint constants and each
+// pays for its own dictionary growth.  Deterministic in n and base.
+func ScaleFacts(n int, base int64) []*term.Fact {
+	vals := uint64(n / 4)
+	if vals < 16 {
+		vals = 16
+	}
+	fs := make([]*term.Fact, n)
+	x := uint64(88172645463325252) // xorshift64
+	next := func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+	for i := range fs {
+		a := base + int64(next()%vals)
+		b := base + int64(next()%vals)
+		fs[i] = term.NewFact("edge", term.Int(a), term.Int(b))
+	}
+	return fs
+}
