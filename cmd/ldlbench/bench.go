@@ -404,6 +404,13 @@ func benchEntries() ([]benchEntry, error) {
 				return workload.ChurnSupplierParts(64, 8, 32, 29)
 			})},
 	}
+	// d* server smoke workloads (v6): the q1 lookups through ldl1d's HTTP
+	// stack and the Go client, prepared handle vs per-request query text.
+	srvEntries, err := serverEntries(q1consts)
+	if err != nil {
+		return nil, err
+	}
+	entries = append(entries, srvEntries...)
 	return entries, nil
 }
 
@@ -423,7 +430,7 @@ func runBenchJSON(path string, reps int, timeout time.Duration, filter, scale st
 	}
 	defer out.Close()
 	report := benchReport{
-		Version:   5, // v5 adds the s* scale sweep and its memory metrics
+		Version:   6, // v6 adds the d* ldl1d-backed server workloads (additive)
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,

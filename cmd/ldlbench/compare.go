@@ -3,8 +3,11 @@ package main
 // Benchmark comparison mode: `ldlbench -bench new.json -compare BENCH_4.json`
 // diffs the fresh run against a committed snapshot by entry name and renders
 // a markdown table.  Entries slower by more than compareThreshold are
-// flagged; the comparison is informational and never fails the run, so CI
-// can surface drift without gating merges on timing noise.
+// flagged; by default the comparison is informational and never fails the
+// run, so CI can surface drift without gating merges on timing noise.
+// Passing `-compare-gate pct` turns it into a gate: if any entry is slower
+// than the snapshot by more than pct percent, the run exits nonzero — the
+// knob a CI job flips when it wants regressions to fail the build.
 
 import (
 	"encoding/json"
@@ -33,8 +36,9 @@ func loadBenchReport(path string) (*benchReport, error) {
 // compareBench prints the diff table to stdout and, when the
 // GITHUB_STEP_SUMMARY environment variable names a file (as it does inside
 // a GitHub Actions step), appends the same markdown there so the comparison
-// lands in the job summary.
-func compareBench(cur *benchReport, oldPath string) error {
+// lands in the job summary.  gatePct > 0 makes slowdowns beyond that
+// percentage an error; 0 keeps the comparison informational.
+func compareBench(cur *benchReport, oldPath string, gatePct float64) error {
 	old, err := loadBenchReport(oldPath)
 	if err != nil {
 		return err
@@ -47,7 +51,7 @@ func compareBench(cur *benchReport, oldPath string) error {
 	fmt.Fprintf(&sb, "### ldlbench vs %s (v%d)\n\n", filepath.Base(oldPath), old.Version)
 	sb.WriteString("| id | name | old ns/op | new ns/op | delta | |\n")
 	sb.WriteString("|----|------|----------:|----------:|------:|---|\n")
-	flagged := 0
+	flagged, breaches := 0, 0
 	for _, r := range cur.Results {
 		o, ok := byName[r.Name]
 		if !ok || o.NsPerOp == 0 {
@@ -60,11 +64,19 @@ func compareBench(cur *benchReport, oldPath string) error {
 			mark = "⚠ slower"
 			flagged++
 		}
+		if gatePct > 0 && 100*d > gatePct {
+			mark = "✗ gate"
+			breaches++
+		}
 		fmt.Fprintf(&sb, "| %s | %s | %d | %d | %+.1f%% | %s |\n", r.ID, r.Name, o.NsPerOp, r.NsPerOp, 100*d, mark)
 	}
 	if flagged > 0 {
-		fmt.Fprintf(&sb, "\n%d entries exceed the %.0f%% threshold — timing noise or a real regression; not gating.\n",
-			flagged, 100*compareThreshold)
+		note := "timing noise or a real regression; not gating"
+		if gatePct > 0 {
+			note = fmt.Sprintf("gating at %.0f%%", gatePct)
+		}
+		fmt.Fprintf(&sb, "\n%d entries exceed the %.0f%% threshold — %s.\n",
+			flagged, 100*compareThreshold, note)
 	}
 	fmt.Print(sb.String())
 	if p := os.Getenv("GITHUB_STEP_SUMMARY"); p != "" {
@@ -76,6 +88,9 @@ func compareBench(cur *benchReport, oldPath string) error {
 		if _, err := f.WriteString(sb.String()); err != nil {
 			return err
 		}
+	}
+	if breaches > 0 {
+		return fmt.Errorf("%d entries slower than the %.0f%% -compare-gate", breaches, gatePct)
 	}
 	return nil
 }

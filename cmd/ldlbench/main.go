@@ -51,7 +51,8 @@ func main() {
 		reps    = flag.Int("reps", 3, "with -bench: timing repetitions per entry; the fastest is reported")
 		timeout = flag.Duration("timeout", 0, "with -bench: per-operation deadline; entries exceeding it are skipped (0 = none)")
 		filter  = flag.String("filter", "", "with -bench: only run entries whose id starts with this prefix (e.g. q)")
-		compare = flag.String("compare", "", "with -bench: diff the run against this committed snapshot (non-gating)")
+		compare = flag.String("compare", "", "with -bench: diff the run against this committed snapshot (non-gating unless -compare-gate)")
+		gate    = flag.Float64("compare-gate", 0, "with -compare: exit nonzero if any entry is slower than the snapshot by more than this percent (0 = informational only)")
 		scale   = flag.String("scale", "small", "with -bench: s* sweep size, small (CI) or full (1M/4M/10M facts)")
 	)
 	flag.Parse()
@@ -63,7 +64,7 @@ func main() {
 			os.Exit(1)
 		}
 		if *compare != "" {
-			if err := compareBench(report, *compare); err != nil {
+			if err := compareBench(report, *compare, *gate); err != nil {
 				fmt.Fprintf(os.Stderr, "compare: %v\n", err)
 				os.Exit(1)
 			}

@@ -1,0 +1,73 @@
+package main
+
+// d* server-backed workloads (schema v6): the same q1-style point lookups,
+// but issued through ldl1d's full HTTP/JSON stack — an in-process httptest
+// server over internal/server, driven by the Go client package — so the
+// pair (d1 prepared vs d1 per-query) measures the wire-and-handler
+// overhead on top of the engine numbers the q* entries isolate.  The
+// entries report timing only: the server's read path deliberately never
+// touches the eval-stats sink (that is what keeps it lock-free), so the
+// counter columns are zero.
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+
+	"ldl1/client"
+	"ldl1/internal/eval"
+	"ldl1/internal/server"
+)
+
+// chainSrc renders ancestorRules plus an n-edge parent chain as program
+// source, the textual twin of workload.ParentChain(n).
+func chainSrc(n int) string {
+	var b strings.Builder
+	b.WriteString(ancestorRules)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "parent(n%d, n%d).\n", i, i+1)
+	}
+	return b.String()
+}
+
+// serverEntries boots one in-process ldl1d (it lives for the remainder of
+// the bench run) and returns the d* entries.  Each operation issues the
+// q1 constant cycle through the client: once against a named prepared
+// handle, once as fresh query text.
+func serverEntries(consts []string) ([]benchEntry, error) {
+	srv := server.New(server.Config{AllowAdmin: true})
+	if err := srv.Load("chain", chainSrc(256)); err != nil {
+		return nil, err
+	}
+	if err := srv.Prepare("chain", "anc", "ancestor(n0, W)"); err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv)
+	c := client.New(ts.URL, ts.Client())
+
+	prepared := func(ctx context.Context) (eval.Stats, error) {
+		for _, k := range consts {
+			res, err := c.Exec(ctx, "chain", "anc", []string{k}, nil)
+			if err != nil {
+				return eval.Stats{}, err
+			}
+			if res.Count == 0 && k != fmt.Sprintf("n%d", 256) {
+				return eval.Stats{}, fmt.Errorf("anc(%s): no rows", k)
+			}
+		}
+		return eval.Stats{}, nil
+	}
+	unprepared := func(ctx context.Context) (eval.Stats, error) {
+		for _, k := range consts {
+			if _, err := c.Query(ctx, "chain", fmt.Sprintf("ancestor(%s, W)", k), nil); err != nil {
+				return eval.Stats{}, err
+			}
+		}
+		return eval.Stats{}, nil
+	}
+	return []benchEntry{
+		{"d1", "server-point-prepared-chain256", prepared},
+		{"d1", "server-point-query-chain256", unprepared},
+	}, nil
+}

@@ -963,10 +963,29 @@ func Solve(body []ast.Literal, db *store.DB) ([]map[term.Var]term.Term, error) {
 	return SolveCtx(nil, body, db)
 }
 
+// SolveLimits bounds one Solve enumeration; the zero value imposes no
+// bounds.  Breaches abort with the same taxonomy errors the fixpoint
+// guards return, so callers (the server's per-request limits) branch on
+// one vocabulary.
+type SolveLimits struct {
+	// MaxSolutions > 0 aborts the enumeration with *lderr.LimitError once
+	// more than that many distinct solutions exist.
+	MaxSolutions int
+	// MemBudget > 0 aborts with *lderr.MemBudgetError once the retained
+	// solution bindings exceed approximately that many bytes (the same
+	// structural estimate Options.MemBudget uses for derived facts).
+	MemBudget int64
+}
+
 // SolveCtx is Solve under a context: the enumeration polls ctx and aborts
 // with lderr.Canceled / lderr.DeadlineExceeded when it is done.  A nil ctx
 // disables the polling.
 func SolveCtx(ctx context.Context, body []ast.Literal, db *store.DB) ([]map[term.Var]term.Term, error) {
+	return SolveLimitsCtx(ctx, body, db, SolveLimits{})
+}
+
+// SolveLimitsCtx is SolveCtx under per-call resource bounds.
+func SolveLimitsCtx(ctx context.Context, body []ast.Literal, db *store.DB, lim SolveLimits) ([]map[term.Var]term.Term, error) {
 	r := ast.Rule{Head: ast.NewLit("$query"), Body: body}
 	p, err := planBodyDB(r, -1, nil, db)
 	if err != nil {
@@ -979,6 +998,7 @@ func SolveCtx(ctx context.Context, body []ast.Literal, db *store.DB) ([]map[term
 		return nil, err
 	}
 	var out []map[term.Var]term.Term
+	var solBytes int64
 	// Solution tuples keyed by the combined hash of their bindings; the
 	// bucket resolves collisions by structural comparison.
 	seen := map[uint64][]map[term.Var]term.Term{}
@@ -1003,6 +1023,17 @@ func SolveCtx(ctx context.Context, body []ast.Literal, db *store.DB) ([]map[term
 		snap := b.Snapshot()
 		seen[h] = append(seen[h], snap)
 		out = append(out, snap)
+		if lim.MaxSolutions > 0 && len(out) > lim.MaxSolutions {
+			return &LimitError{Limit: lim.MaxSolutions}
+		}
+		if lim.MemBudget > 0 {
+			for _, t := range snap {
+				solBytes += 48 + termBytes(t)
+			}
+			if solBytes > lim.MemBudget {
+				return &lderr.MemBudgetError{Budget: lim.MemBudget}
+			}
+		}
 		return nil
 	})
 	return out, err

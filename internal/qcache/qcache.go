@@ -56,6 +56,12 @@ type Cache struct {
 	hits      int
 	misses    int
 	evictions int
+	// gen counts invalidations.  Lock-free readers (the materialized-view
+	// snapshot path) record Gen() before loading their snapshot and fill
+	// with PutAt: a fill raced by any intervening invalidation is dropped,
+	// so an answer computed against a superseded snapshot can never be
+	// published as current.
+	gen int64
 }
 
 type cell struct {
@@ -105,11 +111,50 @@ func (c *Cache) Put(k Key, e *Entry) {
 	}
 }
 
+// Gen returns the current invalidation generation.  Readers that fill the
+// cache without holding any lock against writers must call Gen before
+// loading the snapshot they evaluate, and pass the value to PutAt.
+func (c *Cache) Gen() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// PutAt is Put conditioned on the invalidation generation: the entry is
+// stored only if no Invalidate or Purge ran since the caller observed gen
+// with Gen().  A dropped fill is safe — the next Get simply misses.
+func (c *Cache) PutAt(k Key, e *Entry, gen int64) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		return
+	}
+	if el, ok := c.m[k]; ok {
+		el.Value.(*cell).e = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[k] = c.ll.PushFront(&cell{k: k, e: e})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*cell).k)
+		c.evictions++
+	}
+}
+
 // Invalidate evicts every entry whose dependency cone contains any of the
-// given predicates, returning the number evicted.
+// given predicates, returning the number evicted.  Every call advances the
+// generation, even when nothing matches: a concurrent lock-free fill
+// cannot tell whether its snapshot predates the update, so it must be
+// dropped regardless.
 func (c *Cache) Invalidate(preds ...string) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.gen++
 	n := 0
 	for el := c.ll.Front(); el != nil; {
 		next := el.Next()
@@ -128,10 +173,11 @@ func (c *Cache) Invalidate(preds ...string) int {
 	return n
 }
 
-// Purge empties the cache.
+// Purge empties the cache and advances the generation.
 func (c *Cache) Purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.gen++
 	c.evictions += c.ll.Len()
 	c.ll.Init()
 	c.m = map[Key]*list.Element{}

@@ -117,3 +117,38 @@ func TestCacheConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestGenerationFence pins the lock-free-reader fill protocol: a reader
+// records Gen() before loading its snapshot and fills with PutAt; any
+// Invalidate or Purge in between bumps the generation and the stale fill
+// is dropped instead of being served as current.
+func TestGenerationFence(t *testing.T) {
+	c := New(4)
+	gen := c.Gen()
+	c.PutAt(key(1), entry("a"), gen)
+	if _, ok := c.Get(key(1)); !ok {
+		t.Fatal("same-generation fill dropped")
+	}
+
+	// Invalidation bumps the generation even when nothing matches the cone.
+	gen = c.Gen()
+	c.Invalidate("unrelated")
+	c.PutAt(key(2), entry("b"), gen)
+	if _, ok := c.Get(key(2)); ok {
+		t.Fatal("fill from a superseded generation was published")
+	}
+
+	// Purge bumps it too.
+	gen = c.Gen()
+	c.Purge()
+	c.PutAt(key(3), entry("c"), gen)
+	if _, ok := c.Get(key(3)); ok {
+		t.Fatal("fill recorded before Purge was published")
+	}
+
+	// And the fence resets: a fresh generation fills normally again.
+	c.PutAt(key(3), entry("c"), c.Gen())
+	if _, ok := c.Get(key(3)); !ok {
+		t.Fatal("post-bump fill with fresh generation dropped")
+	}
+}

@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"time"
 
-	"ldl1/internal/eval"
 	"ldl1/internal/incr"
 	"ldl1/internal/parser"
+	"ldl1/internal/qcache"
 	"ldl1/internal/term"
 )
 
@@ -26,6 +26,17 @@ type UpdateResult = incr.Result
 type Materialized struct {
 	inner    *incr.Materialized
 	deadline time.Duration
+
+	// cache memoizes snapshot-read answers for canonical single-literal
+	// queries, shared by every PreparedView and QueryCtx caller of this
+	// view (one cache per view — entries depend on the view's EDB state,
+	// so it cannot be shared with the engine's magic-answer cache, whose
+	// entries are computed against the engine's own database).  Nil under
+	// WithoutQueryCache.
+	cache *qcache.Cache
+	// deps is the head → body predicate adjacency of the compiled program,
+	// for dependency-cone computation at cache-fill time.
+	deps map[string][]string
 }
 
 // Materialize evaluates the engine's program once against its current
@@ -47,15 +58,28 @@ func (e *Engine) Materialize() (*Materialized, error) {
 	if err != nil {
 		return nil, err
 	}
-	if e.cache != nil {
+	mv := &Materialized{inner: inner, deadline: e.cfg.deadline, deps: e.deps}
+	if !e.cfg.noQueryCache {
+		mv.cache = qcache.New(answerCacheCap)
+	}
+	if e.cache != nil || mv.cache != nil {
 		// Delta-driven cache invalidation: a transaction touching any
 		// predicate inside a cached query's dependency cone evicts that
-		// entry.  The hook runs after the view publishes its new snapshot
-		// and before its next transaction, so eviction is never lost under
-		// concurrent Exec/Assert.
-		inner.OnChange(func(preds []string) { e.cache.Invalidate(preds...) })
+		// entry, from the engine's magic-answer cache and the view's own
+		// snapshot-answer cache alike.  The hook runs after the view
+		// publishes its new snapshot and before its next transaction, so
+		// eviction is never lost under concurrent Exec/Assert.
+		engCache, viewCache := e.cache, mv.cache
+		inner.OnChange(func(preds []string) {
+			if engCache != nil {
+				engCache.Invalidate(preds...)
+			}
+			if viewCache != nil {
+				viewCache.Invalidate(preds...)
+			}
+		})
 	}
-	return &Materialized{inner: inner, deadline: e.cfg.deadline}, nil
+	return mv, nil
 }
 
 // withDeadline layers the engine's WithDeadline onto ctx; the cancel func
@@ -125,6 +149,31 @@ func (mv *Materialized) RetractCtx(ctx context.Context, src string) (UpdateResul
 	return mv.inner.ApplyCtx(ctx, incr.Tx{Retract: fs})
 }
 
+// Update applies insertions and retractions, both given as fact-list
+// source text, as ONE transaction: the model moves atomically from the
+// state before the call to the state with both applied, and concurrent
+// readers never observe the insertions without the retractions or vice
+// versa.  Either argument may be empty.
+func (mv *Materialized) Update(assertSrc, retractSrc string) (UpdateResult, error) {
+	return mv.UpdateCtx(context.Background(), assertSrc, retractSrc)
+}
+
+// UpdateCtx is Update under a context, with AssertCtx's rollback
+// guarantee.
+func (mv *Materialized) UpdateCtx(ctx context.Context, assertSrc, retractSrc string) (UpdateResult, error) {
+	ins, err := parseFactList(assertSrc)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	del, err := parseFactList(retractSrc)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	ctx, cancel := mv.withDeadline(ctx)
+	defer cancel()
+	return mv.inner.ApplyCtx(ctx, incr.Tx{Insert: ins, Retract: del})
+}
+
 // Model returns the current model as an immutable snapshot.
 func (mv *Materialized) Model() *Model {
 	return &Model{db: mv.inner.Snapshot()}
@@ -136,17 +185,9 @@ func (mv *Materialized) Query(q string) (*Answers, error) {
 }
 
 // QueryCtx is Query under a context; enumeration stops at the next
-// solution once the context is done.
+// solution once the context is done.  Canonical single-literal queries are
+// served from (and fill) the view's answer cache; see QueryOpts for
+// per-call resource bounds.
 func (mv *Materialized) QueryCtx(ctx context.Context, q string) (*Answers, error) {
-	query, err := parser.ParseQuery(q)
-	if err != nil {
-		return nil, err
-	}
-	ctx, cancel := mv.withDeadline(ctx)
-	defer cancel()
-	sols, err := eval.SolveCtx(ctx, query.Body, mv.inner.Snapshot())
-	if err != nil {
-		return nil, err
-	}
-	return newAnswers(query, sols), nil
+	return mv.QueryOpts(ctx, q, ReadOpts{})
 }

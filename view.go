@@ -1,0 +1,223 @@
+package ldl1
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ldl1/internal/ast"
+	"ldl1/internal/eval"
+	"ldl1/internal/lderr"
+	"ldl1/internal/magic"
+	"ldl1/internal/parser"
+	"ldl1/internal/qcache"
+	"ldl1/internal/term"
+)
+
+// ReadOpts bounds one snapshot read against a materialized view.  The zero
+// value applies only the engine-level WithDeadline, if any.  These are the
+// per-request knobs the ldl1d server maps from its request bodies; library
+// callers can use them directly.
+type ReadOpts struct {
+	// Deadline, when positive, replaces the engine's WithDeadline for this
+	// read only.  It composes with the caller's context — whichever
+	// expires first aborts the enumeration with lderr.DeadlineExceeded.
+	Deadline time.Duration
+	// MaxRows, when positive, aborts the read with *lderr.LimitError once
+	// more than that many distinct answer rows exist.  It is enforced on
+	// cache hits too, so a bounded request behaves identically whether or
+	// not an earlier request already computed the full answer set.
+	MaxRows int
+	// MemBudget, when positive, aborts the read with *lderr.MemBudgetError
+	// once the retained solution bindings exceed approximately that many
+	// bytes.  Like WithMemBudget it bounds evaluation work, so an answer
+	// served from the cache (no evaluation) does not re-pay it.
+	MemBudget int64
+}
+
+// withReadDeadline layers the per-read or engine deadline onto ctx.
+func (mv *Materialized) withReadDeadline(ctx context.Context, o ReadOpts) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	d := o.Deadline
+	if d <= 0 {
+		d = mv.deadline
+	}
+	if d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return ctx, func() {}
+}
+
+// QueryOpts answers a conjunctive query against the current model snapshot
+// under per-call resource bounds.  The read is lock-free: it loads the
+// current published snapshot and never blocks or is blocked by concurrent
+// Assert/Retract/Update transactions (which publish their own snapshots
+// atomically).  Canonical single-literal queries are served from and fill
+// the view's answer cache.
+func (mv *Materialized) QueryOpts(ctx context.Context, q string, o ReadOpts) (*Answers, error) {
+	query, err := parser.ParseQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	sols, err := mv.solveView(ctx, query, o)
+	if err != nil {
+		return nil, err
+	}
+	return newAnswers(query, sols), nil
+}
+
+// PreparedView is a query compiled once for repeated execution against a
+// materialized view's current snapshot: the parse and parameter analysis
+// happen at Prepare time, and each Exec splices concrete constants into
+// the compiled form.  Like ldl1.PreparedQuery, the ground argument
+// positions of a single-literal query become the parameters.  A
+// PreparedView is immutable and safe for concurrent Exec from any number
+// of goroutines; each Exec sees the snapshot current at its start.
+type PreparedView struct {
+	mv       *Materialized
+	query    parser.Query
+	boundPos []int
+}
+
+// Prepare compiles a query for repeated execution against the view.  For
+// a single-literal query the ground argument positions become the Exec
+// parameters (Exec with no arguments re-runs the original constants);
+// multi-literal queries prepare with zero parameters.
+func (mv *Materialized) Prepare(q string) (*PreparedView, error) {
+	query, err := parser.ParseQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	pv := &PreparedView{mv: mv, query: query}
+	if len(query.Body) == 1 {
+		for i, a := range query.Body[0].Args {
+			if term.IsGround(a) {
+				pv.boundPos = append(pv.boundPos, i)
+			}
+		}
+	}
+	return pv, nil
+}
+
+// NumArgs is the number of arguments Exec accepts: the count of ground
+// argument positions in the prepared query.
+func (pv *PreparedView) NumArgs() int { return len(pv.boundPos) }
+
+// Query returns the prepared query's source form.
+func (pv *PreparedView) Query() string { return pv.query.String() }
+
+// Exec runs the prepared query against the current snapshot, binding args
+// (which must be ground) at the prepared parameter positions.
+func (pv *PreparedView) Exec(args ...Term) (*Answers, error) {
+	return pv.ExecOpts(context.Background(), ReadOpts{}, args...)
+}
+
+// ExecOpts is Exec under a context and per-call resource bounds.
+func (pv *PreparedView) ExecOpts(ctx context.Context, o ReadOpts, args ...Term) (*Answers, error) {
+	query := pv.query
+	if len(args) > 0 {
+		if len(args) != len(pv.boundPos) {
+			return nil, fmt.Errorf("ldl1: prepared query takes %d arguments, got %d", len(pv.boundPos), len(args))
+		}
+		consts, err := normalizeConsts(args)
+		if err != nil {
+			return nil, err
+		}
+		lit := query.Body[0]
+		newArgs := append([]term.Term(nil), lit.Args...)
+		for i, pos := range pv.boundPos {
+			newArgs[pos] = consts[i]
+		}
+		query = parser.Query{Body: []ast.Literal{{Negated: lit.Negated, Pred: lit.Pred, Args: newArgs}}}
+	}
+	sols, err := pv.mv.solveView(ctx, query, o)
+	if err != nil {
+		return nil, err
+	}
+	return newAnswers(query, sols), nil
+}
+
+// CacheCounters reports the view's answer-cache statistics: cumulative
+// hits, misses, and evictions, plus the live entry count.  All zero when
+// the engine was built with WithoutQueryCache.
+func (mv *Materialized) CacheCounters() (hits, misses, evictions, entries int) {
+	if mv.cache == nil {
+		return 0, 0, 0, 0
+	}
+	hits, misses, evictions = mv.cache.Counters()
+	return hits, misses, evictions, mv.cache.Len()
+}
+
+// solveView evaluates a parsed query against the current snapshot under
+// the given bounds, routing canonical single-literal queries through the
+// view's answer cache.
+func (mv *Materialized) solveView(ctx context.Context, query parser.Query, o ReadOpts) ([]map[term.Var]term.Term, error) {
+	ctx, cancel := mv.withReadDeadline(ctx, o)
+	defer cancel()
+	lims := eval.SolveLimits{MaxSolutions: o.MaxRows, MemBudget: o.MemBudget}
+	if mv.cache == nil || len(query.Body) != 1 || !canonicalLit(query.Body[0]) {
+		return eval.SolveLimitsCtx(ctx, query.Body, mv.inner.Snapshot(), lims)
+	}
+
+	// Canonical cached path.  The literal is rewritten with positional
+	// variables ($0, $1, ...) so that every caller spelling of the same
+	// (predicate, adornment, constants) shape shares one cache entry; the
+	// solutions are remapped to the caller's names on the way out.
+	lit := query.Body[0]
+	canon := ast.Literal{Pred: lit.Pred, Args: make([]term.Term, len(lit.Args))}
+	var consts []term.Term
+	for i, a := range lit.Args {
+		if _, ok := a.(term.Var); ok {
+			canon.Args[i] = term.Var(fmt.Sprintf("$%d", i))
+		} else {
+			canon.Args[i] = a
+			consts = append(consts, a)
+		}
+	}
+	key := qcache.Key{
+		Pred:   lit.Pred,
+		Adorn:  string(magic.AdornQuery(lit)),
+		Consts: qcache.ConstsKey(consts),
+	}
+	if ent, ok := mv.cache.Get(key); ok {
+		if o.MaxRows > 0 && len(ent.Sols) > o.MaxRows {
+			return nil, &lderr.LimitError{Limit: o.MaxRows}
+		}
+		return remapSolutions(canon, lit, ent.Sols), nil
+	}
+	// Record the generation BEFORE loading the snapshot: any transaction
+	// published after this point bumps the generation, so a fill computed
+	// against a superseded snapshot is dropped by PutAt instead of being
+	// served as current.
+	gen := mv.cache.Gen()
+	snap := mv.inner.Snapshot()
+	sols, err := eval.SolveLimitsCtx(ctx, []ast.Literal{canon}, snap, lims)
+	if err != nil {
+		// Never cache a failed read: a deadline, row-limit, or budget
+		// breach must not poison later unbounded calls.
+		return nil, err
+	}
+	mv.cache.PutAt(key, &qcache.Entry{Sols: sols, Cone: mv.cone(lit.Pred)}, gen)
+	return remapSolutions(canon, lit, sols), nil
+}
+
+// cone returns the dependency cone of pred within the view's program:
+// every predicate reachable from it through the compiled rules.  An update
+// to any predicate in the cone may change the query's answers.
+func (mv *Materialized) cone(pred string) map[string]bool {
+	out := map[string]bool{pred: true}
+	stack := []string{pred}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, q := range mv.deps[p] {
+			if !out[q] {
+				out[q] = true
+				stack = append(stack, q)
+			}
+		}
+	}
+	return out
+}
