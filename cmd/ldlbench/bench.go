@@ -68,6 +68,20 @@ type benchResult struct {
 	BytesPerFact float64 `json:"bytes_per_fact,omitempty"`
 	GCPauseNs    int64   `json:"gc_pause_ns,omitempty"`
 	LoadSpeedup  float64 `json:"load_speedup,omitempty"`
+	// Load-driver metrics (v7), set only on the l* sustained-load entries
+	// (and on reports written by `ldlbench -load`): latency percentiles of
+	// one operation over the whole duration-based run, the throughput the
+	// run achieved, the open-loop arrival rate it targeted (0 for closed
+	// loop), the concurrent client count, and the loop mode.  On these rows
+	// ns_per_op is the p50 latency, so `-compare` diffs remain meaningful.
+	LatencyP50Ns int64   `json:"latency_p50_ns,omitempty"`
+	LatencyP95Ns int64   `json:"latency_p95_ns,omitempty"`
+	LatencyP99Ns int64   `json:"latency_p99_ns,omitempty"`
+	LatencyMaxNs int64   `json:"latency_max_ns,omitempty"`
+	AchievedRPS  float64 `json:"achieved_rps,omitempty"`
+	TargetRPS    float64 `json:"target_rps,omitempty"`
+	Clients      int     `json:"clients,omitempty"`
+	Mode         string  `json:"mode,omitempty"`
 }
 
 type benchReport struct {
@@ -423,14 +437,22 @@ func benchEntries() ([]benchEntry, error) {
 // execute.  filter, when nonempty, restricts the run to entries whose id
 // starts with it ("q" selects q1 and q2).
 func runBenchJSON(path string, reps int, timeout time.Duration, filter, scale string) (*benchReport, error) {
-	// Fail on an unwritable path now, not after minutes of timing.
-	out, err := os.Create(path)
+	// Fail on an unwritable path now, not after minutes of timing — but
+	// stage the report in a temp file and rename it into place only once it
+	// has results, so an aborted or empty run can never leave a truncated
+	// snapshot behind (the fate of the once-committed zero-byte
+	// BENCH_5.json, which silently disarmed the CI compare step).
+	tmp := path + ".tmp"
+	out, err := os.Create(tmp)
 	if err != nil {
 		return nil, err
 	}
-	defer out.Close()
+	defer func() {
+		out.Close()
+		os.Remove(tmp) // no-op after a successful rename
+	}()
 	report := benchReport{
-		Version:   6, // v6 adds the d* ldl1d-backed server workloads (additive)
+		Version:   7, // v7 adds the l* sustained-load entries and latency fields
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -535,6 +557,26 @@ func runBenchJSON(path string, reps int, timeout time.Duration, filter, scale st
 			e.id, e.name, row.NsPerOp, row.FactsPerSec, row.BytesPerFact, row.GCPauseNs, row.LoadSpeedup)
 		report.Results = append(report.Results, *row)
 	}
+	// l* sustained-load entries (v7): duration-based open/closed-loop runs
+	// of the committed workloads/*.ldlw scenarios through internal/load,
+	// in-process and server-backed, one run each (the duration is the
+	// experiment; reps and -timeout do not apply).
+	for _, e := range loadSuiteEntries() {
+		if filter != "" && !strings.HasPrefix(e.id, filter) {
+			continue
+		}
+		row, err := e.run()
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", e.id, e.name, err)
+		}
+		row.ID, row.Name = e.id, e.name
+		fmt.Printf("%-4s %-30s %12d p50 ns %10d p95 ns %10d p99 ns %12.0f rps %8s\n",
+			e.id, e.name, row.LatencyP50Ns, row.LatencyP95Ns, row.LatencyP99Ns, row.AchievedRPS, row.Mode)
+		report.Results = append(report.Results, *row)
+	}
+	if len(report.Results) == 0 {
+		return nil, fmt.Errorf("no benchmark entries matched (filter %q) — refusing to write an empty report", filter)
+	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return nil, err
@@ -542,5 +584,30 @@ func runBenchJSON(path string, reps int, timeout time.Duration, filter, scale st
 	if _, err := out.Write(append(data, '\n')); err != nil {
 		return nil, err
 	}
-	return &report, out.Close()
+	if err := out.Close(); err != nil {
+		return nil, err
+	}
+	return &report, os.Rename(tmp, path)
+}
+
+// writeBenchReport writes a report to path through a temp-file rename,
+// refusing an empty one — the same guarantees runBenchJSON gives, for
+// callers (the -load mode) that assemble their own rows.
+func writeBenchReport(path string, report *benchReport) error {
+	if len(report.Results) == 0 {
+		return fmt.Errorf("refusing to write a report with no results to %s", path)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }

@@ -1,13 +1,14 @@
 package main
 
-// Benchmark comparison mode: `ldlbench -bench new.json -compare BENCH_4.json`
+// Benchmark comparison mode: `ldlbench -bench new.json -compare BENCH_7.json`
 // diffs the fresh run against a committed snapshot by entry name and renders
 // a markdown table.  Entries slower by more than compareThreshold are
 // flagged; by default the comparison is informational and never fails the
 // run, so CI can surface drift without gating merges on timing noise.
 // Passing `-compare-gate pct` turns it into a gate: if any entry is slower
-// than the snapshot by more than pct percent, the run exits nonzero — the
-// knob a CI job flips when it wants regressions to fail the build.
+// than the snapshot by more than pct percent — or present in the snapshot
+// but missing from the current run — the run exits nonzero, the knob a CI
+// job flips when it wants regressions to fail the build.
 
 import (
 	"encoding/json"
@@ -21,6 +22,10 @@ import (
 // an entry is flagged.
 const compareThreshold = 0.20
 
+// loadBenchReport reads a snapshot and refuses one with no results: an
+// empty report can only come from a truncated or aborted write (BENCH_5.json
+// was once committed as zero results), and comparing against it would make
+// every gate pass vacuously.
 func loadBenchReport(path string) (*benchReport, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -30,29 +35,45 @@ func loadBenchReport(path string) (*benchReport, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	if len(r.Results) == 0 {
+		return nil, fmt.Errorf("%s: snapshot has no results — refusing to compare against an empty report", path)
+	}
 	return &r, nil
 }
 
-// compareBench prints the diff table to stdout and, when the
-// GITHUB_STEP_SUMMARY environment variable names a file (as it does inside
-// a GitHub Actions step), appends the same markdown there so the comparison
-// lands in the job summary.  gatePct > 0 makes slowdowns beyond that
-// percentage an error; 0 keeps the comparison informational.
-func compareBench(cur *benchReport, oldPath string, gatePct float64) error {
-	old, err := loadBenchReport(oldPath)
-	if err != nil {
-		return err
-	}
+// compareOutcome is the rendered diff plus its tallies, separated from the
+// printing so the accounting is unit-testable.
+type compareOutcome struct {
+	table string
+	// flagged counts informational findings: entries slower than
+	// compareThreshold plus entries removed since the snapshot.
+	flagged int
+	// breaches counts gate failures under gatePct > 0: entries slower than
+	// the gate percentage (even when under the informational threshold) and
+	// snapshot entries missing from the current run.
+	breaches int
+	// removed counts snapshot entries absent from the current run.
+	removed int
+}
+
+// diffBench renders the markdown diff of cur against old and tallies
+// flagged entries and gate breaches.  Entries present in the snapshot but
+// absent from the current run are reported as `removed` rows: a deleted or
+// renamed benchmark is a silent loss of coverage, so under a gate it is a
+// breach, not a skip.
+func diffBench(cur, old *benchReport, oldName string, gatePct float64) compareOutcome {
 	byName := make(map[string]benchResult, len(old.Results))
 	for _, r := range old.Results {
 		byName[r.Name] = r
 	}
+	seen := make(map[string]bool, len(cur.Results))
+	var out compareOutcome
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "### ldlbench vs %s (v%d)\n\n", filepath.Base(oldPath), old.Version)
+	fmt.Fprintf(&sb, "### ldlbench vs %s (v%d)\n\n", oldName, old.Version)
 	sb.WriteString("| id | name | old ns/op | new ns/op | delta | |\n")
 	sb.WriteString("|----|------|----------:|----------:|------:|---|\n")
-	flagged, breaches := 0, 0
 	for _, r := range cur.Results {
+		seen[r.Name] = true
 		o, ok := byName[r.Name]
 		if !ok || o.NsPerOp == 0 {
 			fmt.Fprintf(&sb, "| %s | %s | — | %d | new | |\n", r.ID, r.Name, r.NsPerOp)
@@ -62,35 +83,76 @@ func compareBench(cur *benchReport, oldPath string, gatePct float64) error {
 		mark := ""
 		if d > compareThreshold {
 			mark = "⚠ slower"
-			flagged++
+			out.flagged++
 		}
 		if gatePct > 0 && 100*d > gatePct {
 			mark = "✗ gate"
-			breaches++
+			out.breaches++
 		}
 		fmt.Fprintf(&sb, "| %s | %s | %d | %d | %+.1f%% | %s |\n", r.ID, r.Name, o.NsPerOp, r.NsPerOp, 100*d, mark)
 	}
-	if flagged > 0 {
+	for _, o := range old.Results {
+		if seen[o.Name] {
+			continue
+		}
+		mark := "⚠ removed"
+		if gatePct > 0 {
+			mark = "✗ gate"
+			out.breaches++
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %d | — | removed | %s |\n", o.ID, o.Name, o.NsPerOp, mark)
+		out.flagged++
+		out.removed++
+	}
+	if out.flagged > 0 || out.breaches > 0 {
 		note := "timing noise or a real regression; not gating"
 		if gatePct > 0 {
-			note = fmt.Sprintf("gating at %.0f%%", gatePct)
+			note = fmt.Sprintf("%d breach the %.0f%% gate", out.breaches, gatePct)
 		}
-		fmt.Fprintf(&sb, "\n%d entries exceed the %.0f%% threshold — %s.\n",
-			flagged, 100*compareThreshold, note)
+		fmt.Fprintf(&sb, "\n%d entries flagged (>%.0f%% slower or removed) — %s.\n",
+			out.flagged, 100*compareThreshold, note)
 	}
-	fmt.Print(sb.String())
+	out.table = sb.String()
+	return out
+}
+
+// compareBench prints the diff table to stdout and, when the
+// GITHUB_STEP_SUMMARY environment variable names a file (as it does inside
+// a GitHub Actions step), appends the same markdown there so the comparison
+// lands in the job summary.  gatePct > 0 makes slowdowns beyond that
+// percentage — and snapshot entries missing from the run — an error; 0
+// keeps the comparison informational.  filter is the -filter prefix the
+// run used: snapshot entries the filter excluded were never expected to
+// run, so they are dropped before the diff rather than reported removed.
+func compareBench(cur *benchReport, oldPath string, gatePct float64, filter string) error {
+	old, err := loadBenchReport(oldPath)
+	if err != nil {
+		return err
+	}
+	if filter != "" {
+		kept := old.Results[:0:0]
+		for _, r := range old.Results {
+			if strings.HasPrefix(r.ID, filter) {
+				kept = append(kept, r)
+			}
+		}
+		old.Results = kept
+	}
+	out := diffBench(cur, old, filepath.Base(oldPath), gatePct)
+	fmt.Print(out.table)
 	if p := os.Getenv("GITHUB_STEP_SUMMARY"); p != "" {
 		f, err := os.OpenFile(p, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		if _, err := f.WriteString(sb.String()); err != nil {
+		if _, err := f.WriteString(out.table); err != nil {
 			return err
 		}
 	}
-	if breaches > 0 {
-		return fmt.Errorf("%d entries slower than the %.0f%% -compare-gate", breaches, gatePct)
+	if out.breaches > 0 {
+		return fmt.Errorf("%d entries breach the %.0f%% -compare-gate (%d removed from the run)",
+			out.breaches, gatePct, out.removed)
 	}
 	return nil
 }

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(results ...benchResult) *benchReport {
+	return &benchReport{Version: 7, Results: results}
+}
+
+func row(id, name string, ns int64) benchResult {
+	return benchResult{ID: id, Name: name, NsPerOp: ns}
+}
+
+func writeReport(t *testing.T, r *benchReport) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "snap.json")
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// A snapshot entry absent from the current run must surface as a removed
+// row and, under a gate, count as a breach: a deleted or renamed benchmark
+// can no longer slip through -compare-gate unnoticed.
+func TestDiffBenchRemovedEntry(t *testing.T) {
+	old := report(row("e1", "kept", 1000), row("e2", "dropped", 2000))
+	cur := report(row("e1", "kept", 1000))
+
+	out := diffBench(cur, old, "snap.json", 0)
+	if out.removed != 1 {
+		t.Fatalf("removed = %d, want 1", out.removed)
+	}
+	if out.breaches != 0 {
+		t.Errorf("breaches = %d without a gate, want 0", out.breaches)
+	}
+	if out.flagged != 1 {
+		t.Errorf("flagged = %d, want 1 (the removed row)", out.flagged)
+	}
+	if !strings.Contains(out.table, "| e2 | dropped | 2000 | — | removed | ⚠ removed |") {
+		t.Errorf("table missing removed row:\n%s", out.table)
+	}
+	if !strings.Contains(out.table, "entries flagged") {
+		t.Errorf("table missing trailing summary:\n%s", out.table)
+	}
+
+	gated := diffBench(cur, old, "snap.json", 50)
+	if gated.breaches != 1 {
+		t.Fatalf("gated breaches = %d, want 1", gated.breaches)
+	}
+	if !strings.Contains(gated.table, "✗ gate") {
+		t.Errorf("gated table missing gate mark:\n%s", gated.table)
+	}
+}
+
+// compareBench must fail when a snapshot entry is missing from the run and
+// the gate is armed.
+func TestCompareBenchFailsOnMissingEntry(t *testing.T) {
+	t.Setenv("GITHUB_STEP_SUMMARY", "")
+	path := writeReport(t, report(row("e1", "kept", 1000), row("e2", "dropped", 2000)))
+	cur := report(row("e1", "kept", 1000))
+	err := compareBench(cur, path, 50, "")
+	if err == nil {
+		t.Fatal("compareBench passed despite a removed snapshot entry")
+	}
+	if !strings.Contains(err.Error(), "removed") {
+		t.Errorf("error %q does not mention the removed entry", err)
+	}
+	// Without the gate the same diff is informational.
+	if err := compareBench(cur, path, 0, ""); err != nil {
+		t.Errorf("ungated compareBench errored: %v", err)
+	}
+}
+
+// A filtered run never executed the out-of-filter snapshot entries, so
+// they must not be reported removed: `-filter q -compare FULL.json` diffs
+// only the q* rows.
+func TestCompareBenchFilterScopesRemoved(t *testing.T) {
+	t.Setenv("GITHUB_STEP_SUMMARY", "")
+	path := writeReport(t, report(row("q1", "point", 1000), row("s1", "sweep", 2000)))
+	cur := report(row("q1", "point", 1000))
+	if err := compareBench(cur, path, 50, "q"); err != nil {
+		t.Errorf("filtered compareBench flagged out-of-filter entries: %v", err)
+	}
+	// The same diff without the filter must breach on the missing s1.
+	if err := compareBench(cur, path, 50, ""); err == nil {
+		t.Error("unfiltered compareBench missed the removed s1 entry")
+	}
+}
+
+// A breach below the informational 20% threshold must still appear in the
+// trailing summary tally (the pre-fix code only counted >20% rows there).
+func TestDiffBenchGateBreachUnderThreshold(t *testing.T) {
+	old := report(row("e1", "a", 1000))
+	cur := report(row("e1", "a", 1100)) // +10%: under 20%, over a 5% gate
+	out := diffBench(cur, old, "snap.json", 5)
+	if out.breaches != 1 {
+		t.Fatalf("breaches = %d, want 1", out.breaches)
+	}
+	if !strings.Contains(out.table, "✗ gate") {
+		t.Errorf("table missing gate mark:\n%s", out.table)
+	}
+	if !strings.Contains(out.table, "1 breach the 5% gate") {
+		t.Errorf("trailing summary does not count the under-threshold breach:\n%s", out.table)
+	}
+}
+
+// An entry only in the current run renders as new and never breaches.
+func TestDiffBenchNewEntry(t *testing.T) {
+	old := report(row("e1", "a", 1000))
+	cur := report(row("e1", "a", 1000), row("l1", "fresh", 500))
+	out := diffBench(cur, old, "snap.json", 5)
+	if out.breaches != 0 || out.flagged != 0 || out.removed != 0 {
+		t.Fatalf("tallies = %+v, want all zero", out)
+	}
+	if !strings.Contains(out.table, "| l1 | fresh | — | 500 | new | |") {
+		t.Errorf("table missing new row:\n%s", out.table)
+	}
+	if strings.Contains(out.table, "entries flagged") {
+		t.Errorf("clean diff has a summary note:\n%s", out.table)
+	}
+}
+
+// Matched entries over both thresholds: flagged and breached, once each.
+func TestDiffBenchSlowerEntry(t *testing.T) {
+	old := report(row("e1", "a", 1000))
+	cur := report(row("e1", "a", 1500)) // +50%
+	out := diffBench(cur, old, "snap.json", 30)
+	if out.flagged != 1 || out.breaches != 1 {
+		t.Fatalf("flagged/breaches = %d/%d, want 1/1", out.flagged, out.breaches)
+	}
+	if !strings.Contains(out.table, "✗ gate") {
+		t.Errorf("gate mark must win over the slower mark:\n%s", out.table)
+	}
+}
+
+// An empty snapshot must refuse to compare at all — it can only be a
+// truncated or aborted write, and diffing against it would pass vacuously.
+func TestLoadBenchReportRefusesEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(path, []byte(`{"version":6,"results":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBenchReport(path); err == nil {
+		t.Fatal("loadBenchReport accepted a snapshot with no results")
+	}
+	// The zero-byte shape BENCH_5.json was once committed as.
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBenchReport(path); err == nil {
+		t.Fatal("loadBenchReport accepted a zero-byte snapshot")
+	}
+}
+
+// writeBenchReport stages through a temp file and refuses empty reports,
+// so a failed run can never leave a truncated snapshot at the target path.
+func TestWriteBenchReportRefusesEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := writeBenchReport(path, report()); err == nil {
+		t.Fatal("writeBenchReport wrote a report with no results")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("refused write still created %s", path)
+	}
+	if err := writeBenchReport(path, report(row("e1", "a", 1))); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 1 || got.Results[0].Name != "a" {
+		t.Fatalf("round-trip mismatch: %+v", got.Results)
+	}
+}

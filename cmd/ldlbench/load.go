@@ -1,0 +1,236 @@
+package main
+
+// `-load` mode: sustained-traffic runs of workloads/*.ldlw scripts through
+// internal/load — N concurrent clients in closed-loop (back-to-back) or
+// open-loop (fixed arrival rate, coordinated-omission-corrected latency)
+// mode against either the in-process engine (a materialized view: lock-free
+// snapshot reads, incremental write transactions) or an ldl1d server driven
+// over HTTP via the Go client.  Prints a latency/throughput summary and,
+// with -bench, writes the v7 JSON report.  The l* entries of the full bench
+// suite run the same driver with pinned short configurations, so committed
+// BENCH_<n>.json snapshots carry a sustained-load baseline.
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"ldl1"
+	"ldl1/client"
+	"ldl1/internal/load"
+	"ldl1/internal/server"
+)
+
+// loadFlags carries the -load flag group from main.
+type loadFlags struct {
+	workload string // -load: path to the .ldlw script
+	mode     string // -mode: closed or open
+	clients  int    // -clients
+	duration time.Duration
+	rate     float64 // -rate: total ops/sec, open loop only
+	seed     int64
+	server   string // -server: "" in-process, "spawn", or a live ldl1d URL
+	db       string // -db: server database override
+	bench    string // -bench: optional JSON report path
+}
+
+// buildLoadTarget resolves the target: in-process view, spawned in-process
+// ldl1d over HTTP, or a live server at a URL.  The returned cleanup tears
+// down whatever was spawned.
+func buildLoadTarget(w *load.Workload, serverFlag, dbFlag string) (load.Target, func(), error) {
+	db := w.DB
+	if dbFlag != "" {
+		db = dbFlag
+	}
+	noop := func() {}
+	switch {
+	case serverFlag == "":
+		if w.Program == "" {
+			return nil, noop, fmt.Errorf("workload %s declares no \\program; an in-process run needs one", w.Name)
+		}
+		eng, err := ldl1.New(w.Program)
+		if err != nil {
+			return nil, noop, fmt.Errorf("workload program: %w", err)
+		}
+		mv, err := eng.Materialize()
+		if err != nil {
+			return nil, noop, fmt.Errorf("materialize workload program: %w", err)
+		}
+		return load.NewViewTarget(mv, ldl1.ReadOpts{}), noop, nil
+	case serverFlag == "spawn":
+		if w.Program == "" {
+			return nil, noop, fmt.Errorf("workload %s declares no \\program; -server spawn needs one", w.Name)
+		}
+		srv := server.New(server.Config{AllowAdmin: true})
+		if err := srv.Load(db, w.Program); err != nil {
+			return nil, noop, fmt.Errorf("spawn ldl1d: load %s: %w", db, err)
+		}
+		ts := httptest.NewServer(srv)
+		return load.NewClientTarget(client.New(ts.URL, ts.Client()), db), ts.Close, nil
+	default:
+		c := client.New(serverFlag, nil)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if _, err := c.Health(ctx); err != nil {
+			return nil, noop, fmt.Errorf("server %s: %w", serverFlag, err)
+		}
+		if w.Program != "" {
+			// Best-effort admission: a live server may already hold the
+			// database, or run with -admin off — neither should stop the run.
+			if err := c.Load(ctx, db, w.Program); err != nil {
+				fmt.Fprintf(os.Stderr, "load: note: could not load %q onto %s (%v); assuming it is already served\n",
+					db, serverFlag, err)
+			}
+		}
+		return load.NewClientTarget(c, db), noop, nil
+	}
+}
+
+// runLoad is the -load entry point.
+func runLoad(f loadFlags) error {
+	w, err := load.ParseFile(f.workload)
+	if err != nil {
+		return err
+	}
+	switch f.mode {
+	case "closed":
+		if f.rate > 0 {
+			return fmt.Errorf("-rate needs -mode open")
+		}
+	case "open":
+		if f.rate <= 0 {
+			return fmt.Errorf("-mode open needs a positive -rate")
+		}
+	default:
+		return fmt.Errorf("unknown -mode %q (want closed or open)", f.mode)
+	}
+	tgt, cleanup, err := buildLoadTarget(w, f.server, f.db)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	where := "in-process"
+	if f.server != "" {
+		where = f.server
+	}
+	fmt.Fprintf(os.Stderr, "load: %s  mode=%s clients=%d duration=%v seed=%d target=%s\n",
+		f.workload, f.mode, f.clients, f.duration, f.seed, where)
+	res, err := load.Run(context.Background(), load.Config{
+		Workload: w,
+		Target:   tgt,
+		Clients:  f.clients,
+		Duration: f.duration,
+		Rate:     f.rate,
+		Seed:     f.seed,
+		OnProgress: func(p load.Progress) {
+			fmt.Fprintf(os.Stderr, "load: %6.1fs  %9d ops  %6d errors  %10.0f ops/s\n",
+				p.Elapsed.Seconds(), p.Ops, p.Errors, float64(p.Ops)/p.Elapsed.Seconds())
+		},
+	})
+	if err != nil {
+		return err
+	}
+	printLoadResult(res)
+	if res.Ops == 0 {
+		return fmt.Errorf("no operation completed in %v", f.duration)
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("%d operations failed", res.Errors)
+	}
+	if f.bench != "" {
+		report := &benchReport{Version: 7, GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU()}
+		row := loadResultRow(res)
+		row.ID = "load"
+		row.Name = loadRowName(f.workload, res)
+		report.Results = append(report.Results, *row)
+		if err := writeBenchReport(f.bench, report); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "load: wrote %s\n", f.bench)
+	}
+	return nil
+}
+
+func printLoadResult(res *load.Result) {
+	target := ""
+	if res.TargetRPS > 0 {
+		target = fmt.Sprintf(" of %.0f targeted", res.TargetRPS)
+	}
+	fmt.Printf("mode=%s clients=%d seed=%d elapsed=%v\n", res.Mode, res.Clients, res.Seed, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("  throughput %.1f ops/s%s (%d ops, %d errors)\n", res.AchievedRPS, target, res.Ops, res.Errors)
+	fmt.Printf("  latency p50 %v  p95 %v  p99 %v  max %v  mean %v\n",
+		time.Duration(res.Hist.Percentile(50)),
+		time.Duration(res.Hist.Percentile(95)),
+		time.Duration(res.Hist.Percentile(99)),
+		time.Duration(res.Hist.Max()),
+		time.Duration(res.Hist.Mean()))
+}
+
+// loadResultRow converts a run result into a v7 report row.  ns_per_op is
+// the p50 latency so `-compare` deltas stay meaningful on load rows.
+func loadResultRow(res *load.Result) *benchResult {
+	return &benchResult{
+		NsPerOp:      res.Hist.Percentile(50),
+		LatencyP50Ns: res.Hist.Percentile(50),
+		LatencyP95Ns: res.Hist.Percentile(95),
+		LatencyP99Ns: res.Hist.Percentile(99),
+		LatencyMaxNs: res.Hist.Max(),
+		AchievedRPS:  res.AchievedRPS,
+		TargetRPS:    res.TargetRPS,
+		Clients:      res.Clients,
+		Mode:         res.Mode,
+	}
+}
+
+func loadRowName(path string, res *load.Result) string {
+	stem := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return fmt.Sprintf("load-%s-%s-c%d", stem, res.Mode, res.Clients)
+}
+
+// loadSuiteEntries are the pinned l* configurations of the full bench
+// suite: a closed-loop in-process saturation run of the read-only point
+// lookups, and an open-loop run of the mixed read/write stream through a
+// spawned ldl1d's full HTTP stack at a rate the server holds comfortably,
+// so its latency rows measure service time, not saturation queueing.
+func loadSuiteEntries() []scaleEntry {
+	run := func(file string, rate float64, clients int, dur time.Duration, spawn bool) func() (*benchResult, error) {
+		return func() (*benchResult, error) {
+			w, err := load.ParseFile(filepath.Join("workloads", file))
+			if err != nil {
+				return nil, err
+			}
+			serverFlag := ""
+			if spawn {
+				serverFlag = "spawn"
+			}
+			tgt, cleanup, err := buildLoadTarget(w, serverFlag, "")
+			if err != nil {
+				return nil, err
+			}
+			defer cleanup()
+			res, err := load.Run(context.Background(), load.Config{
+				Workload: w, Target: tgt, Clients: clients, Duration: dur, Rate: rate, Seed: 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if res.Ops == 0 {
+				return nil, fmt.Errorf("no operation completed")
+			}
+			if res.Errors > 0 {
+				return nil, fmt.Errorf("%d operations failed", res.Errors)
+			}
+			return loadResultRow(res), nil
+		}
+	}
+	return []scaleEntry{
+		{"l1", "load-point-closed-inproc-c4", run("point_lookup.ldlw", 0, 4, 2*time.Second, false)},
+		{"l2", "load-mixed-open-server-c4", run("mixed.ldlw", 400, 4, 2*time.Second, true)},
+	}
+}

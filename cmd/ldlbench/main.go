@@ -8,6 +8,14 @@
 //	ldlbench -exp e15            # run one experiment
 //	ldlbench -list               # list experiments
 //	ldlbench -bench BENCH_1.json # time experiments, write JSON report
+//
+// `-load` switches to the sustained-traffic driver: concurrent clients
+// replay a text workload script for a fixed duration and report latency
+// percentiles and achieved throughput (see workloads/*.ldlw and the
+// README's "Load driver" section):
+//
+//	ldlbench -load workloads/point_lookup.ldlw -duration 2s -clients 4
+//	ldlbench -load workloads/mixed.ldlw -mode open -rate 400 -server spawn
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 )
 
 // experiment is one reproducible artifact of the paper.
@@ -54,9 +63,36 @@ func main() {
 		compare = flag.String("compare", "", "with -bench: diff the run against this committed snapshot (non-gating unless -compare-gate)")
 		gate    = flag.Float64("compare-gate", 0, "with -compare: exit nonzero if any entry is slower than the snapshot by more than this percent (0 = informational only)")
 		scale   = flag.String("scale", "small", "with -bench: s* sweep size, small (CI) or full (1M/4M/10M facts)")
+
+		loadPath = flag.String("load", "", "run a workload script (*.ldlw) as a sustained load instead of the experiments")
+		mode     = flag.String("mode", "closed", "with -load: closed (back-to-back) or open (fixed-rate arrivals)")
+		clients  = flag.Int("clients", 8, "with -load: concurrent clients")
+		duration = flag.Duration("duration", 10*time.Second, "with -load: run length")
+		rate     = flag.Float64("rate", 0, "with -load -mode open: total intended ops/sec across all clients")
+		seed     = flag.Int64("seed", 1, "with -load: run seed; same seed and -clients replays identical per-client streams")
+		srvFlag  = flag.String("server", "", `with -load: target a server instead of the in-process engine — "spawn" boots an in-process ldl1d, anything else is a live ldl1d base URL`)
+		dbFlag   = flag.String("db", "", "with -load -server: database name override (default: the workload's \\db)")
 	)
 	flag.Parse()
 
+	if *loadPath != "" {
+		err := runLoad(loadFlags{
+			workload: *loadPath,
+			mode:     *mode,
+			clients:  *clients,
+			duration: *duration,
+			rate:     *rate,
+			seed:     *seed,
+			server:   *srvFlag,
+			db:       *dbFlag,
+			bench:    *bench,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *bench != "" {
 		report, err := runBenchJSON(*bench, *reps, *timeout, *filter, *scale)
 		if err != nil {
@@ -64,7 +100,7 @@ func main() {
 			os.Exit(1)
 		}
 		if *compare != "" {
-			if err := compareBench(report, *compare, *gate); err != nil {
+			if err := compareBench(report, *compare, *gate, *filter); err != nil {
 				fmt.Fprintf(os.Stderr, "compare: %v\n", err)
 				os.Exit(1)
 			}

@@ -1,0 +1,281 @@
+package load
+
+import (
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseFull(t *testing.T) {
+	src := `
+# a comment
+\scale 4
+\program chain256.ldl
+\db chain
+\set src random(0, 255)
+\set dst $src + $scale * 2
+query*8:   ancestor(n$src, W)
+assert*1:  parent(n$src, n${dst}).
+retract:   parent(n$src, n${dst}).
+`
+	w, err := Parse("workloads/test.ldlw", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Scale != 4 {
+		t.Errorf("Scale = %d, want 4", w.Scale)
+	}
+	if w.DB != "chain" {
+		t.Errorf("DB = %q, want chain", w.DB)
+	}
+	if want := filepath.Join("workloads", "chain256.ldl"); w.ProgramPath != want {
+		t.Errorf("ProgramPath = %q, want %q", w.ProgramPath, want)
+	}
+	if w.Statements() != 3 {
+		t.Fatalf("Statements = %d, want 3", w.Statements())
+	}
+	if w.totalWeight != 10 {
+		t.Errorf("totalWeight = %d, want 10", w.totalWeight)
+	}
+	if !w.HasWrites() {
+		t.Error("HasWrites = false, want true")
+	}
+	wantKinds := []Kind{KindQuery, KindAssert, KindRetract}
+	for i, st := range w.stmts {
+		if st.kind != wantKinds[i] {
+			t.Errorf("stmt %d kind = %v, want %v", i, st.kind, wantKinds[i])
+		}
+	}
+}
+
+func TestParseDefaultDB(t *testing.T) {
+	w, err := Parse("workloads/point_lookup.ldlw", "query: p(X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.DB != "point_lookup" {
+		t.Errorf("default DB = %q, want point_lookup", w.DB)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"no statements", `\set x 1`, "no statements"},
+		{"unknown meta", `\foo bar` + "\nquery: p(X)", `unknown meta command \foo`},
+		{"bad weight", "query*0: p(X)", "weight"},
+		{"negative weight", "query*-2: p(X)", "weight"},
+		{"unknown kind", "drop: p(X)", "unknown statement kind"},
+		{"missing colon", "query p(X)", "expected"},
+		{"empty template", "query:", "empty template"},
+		{"undefined template var", "query: p(n$nope)", "undefined variable $nope"},
+		{"undefined expr var", `\set x $nope + 1` + "\nquery: p(n$x)", "undefined variable $nope"},
+		{"bad expr", `\set x 1 +` + "\nquery: p(n$x)", "expression"},
+		{"unknown function", `\set x gaussian(1, 2)` + "\nquery: p(n$x)", "unknown function"},
+		{"stray dollar", "query: p($)", "stray $"},
+		{"unterminated brace", "query: p(${x)", "unterminated"},
+		{"bad scale", `\scale zero` + "\nquery: p(X)", `\scale`},
+		{"bad db", `\db not an ident` + "\nquery: p(X)", `\db`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse("t.ldlw", c.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error containing %q", c.src, c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not contain %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// A template may use a variable \set below it: all variables are drawn
+// before any statement executes.
+func TestParseForwardReference(t *testing.T) {
+	w, err := Parse("t.ldlw", "query: p(n$x)\n\\set x 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := w.Client(0, 1).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Text != "p(n7)" {
+		t.Errorf("Text = %q, want p(n7)", op.Text)
+	}
+}
+
+func TestTemplateEscapes(t *testing.T) {
+	w, err := Parse("t.ldlw", `\set x 3`+"\nquery: cost$$x(${x}$x, y$x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := w.Client(0, 9).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "cost$x(33, y3)"; op.Text != want {
+		t.Errorf("Text = %q, want %q", op.Text, want)
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vars := map[string]int64{"scale": 10}
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 - 2 - 3", 5},
+		{"7 / 2", 3},
+		{"7 % 3", 1},
+		{"-4 + 1", -3},
+		{"$scale * 2", 20},
+		{"random(5, 5)", 5},
+		{"random(3, 3) + random(4, 4)", 7},
+	}
+	for _, c := range cases {
+		e, err := parseExpr(c.src)
+		if err != nil {
+			t.Fatalf("parseExpr(%q): %v", c.src, err)
+		}
+		got, err := e.eval(vars, rng)
+		if err != nil {
+			t.Fatalf("eval(%q): %v", c.src, err)
+		}
+		if got != c.want {
+			t.Errorf("eval(%q) = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestExprEvalErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, src := range []string{"1 / 0", "1 % 0", "random(5, 2)"} {
+		e, err := parseExpr(src)
+		if err != nil {
+			t.Fatalf("parseExpr(%q): %v", src, err)
+		}
+		if _, err := e.eval(map[string]int64{}, rng); err == nil {
+			t.Errorf("eval(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestRandomInclusiveBounds(t *testing.T) {
+	e, err := parseExpr("random(2, 4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	seen := map[int64]bool{}
+	for i := 0; i < 200; i++ {
+		v, err := e.eval(nil, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 2 || v > 4 {
+			t.Fatalf("random(2, 4) = %d, out of range", v)
+		}
+		seen[v] = true
+	}
+	for _, want := range []int64{2, 3, 4} {
+		if !seen[want] {
+			t.Errorf("random(2, 4) never produced %d in 200 draws", want)
+		}
+	}
+}
+
+func opSeq(t *testing.T, w *Workload, client int, seed int64, n int) []Op {
+	t.Helper()
+	s := w.Client(client, seed)
+	out := make([]Op, n)
+	for i := range out {
+		op, err := s.Next()
+		if err != nil {
+			t.Fatalf("client %d op %d: %v", client, i, err)
+		}
+		out[i] = op
+	}
+	return out
+}
+
+// The acceptance-criterion test: the committed mixed read/write scenario,
+// run twice with the same seed and 8 clients, produces identical
+// per-client operation streams.
+func TestCommittedMixedWorkloadDeterminism(t *testing.T) {
+	const clients, n, seed = 8, 500, 42
+	w1, err := ParseFile(filepath.Join("..", "..", "workloads", "mixed.ldlw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := ParseFile(filepath.Join("..", "..", "workloads", "mixed.ldlw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Program == "" {
+		t.Fatal("mixed.ldlw loaded no \\program")
+	}
+	kinds := map[Kind]bool{}
+	for c := 0; c < clients; c++ {
+		a, b := opSeq(t, w1, c, seed, n), opSeq(t, w2, c, seed, n)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("client %d op %d differs across identical runs: %+v vs %+v", c, i, a[i], b[i])
+			}
+			kinds[a[i].Kind] = true
+		}
+	}
+	for _, k := range []Kind{KindQuery, KindAssert, KindRetract} {
+		if !kinds[k] {
+			t.Errorf("mixed workload produced no %v operations in %d ops x %d clients", k, n, clients)
+		}
+	}
+	// Different clients and different seeds must diverge.
+	if a, b := opSeq(t, w1, 0, seed, n), opSeq(t, w1, 1, seed, n); equalOps(a, b) {
+		t.Error("clients 0 and 1 produced identical streams")
+	}
+	if a, b := opSeq(t, w1, 0, seed, n), opSeq(t, w1, 0, seed+1, n); equalOps(a, b) {
+		t.Error("seeds 42 and 43 produced identical streams")
+	}
+}
+
+func equalOps(a, b []Op) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWeightedSelectionRoughProportions(t *testing.T) {
+	w, err := Parse("t.ldlw", "query*9: q(X)\nassert*1: a(x).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.Client(0, 3)
+	const n = 10000
+	var asserts int
+	for i := 0; i < n; i++ {
+		op, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op.Kind == KindAssert {
+			asserts++
+		}
+	}
+	// Expect ~10%; allow generous slack for a fixed seed.
+	if asserts < n/20 || asserts > n/5 {
+		t.Errorf("assert fraction = %d/%d, want roughly 1/10", asserts, n)
+	}
+}

@@ -1,0 +1,268 @@
+package load
+
+// The \set expression language: 64-bit integer arithmetic with
+// + - * / % over literals, $var references, parentheses, and the
+// generator random(lo, hi) (uniform, both ends inclusive), drawn from the
+// evaluating client's seeded RNG.  Small enough to hand-roll: a scanner of
+// four token kinds and a precedence-climbing parser of two levels.
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+type expr interface {
+	eval(vars map[string]int64, rng *rand.Rand) (int64, error)
+}
+
+type intLit int64
+
+func (e intLit) eval(map[string]int64, *rand.Rand) (int64, error) { return int64(e), nil }
+
+type varRef string
+
+func (e varRef) eval(vars map[string]int64, _ *rand.Rand) (int64, error) {
+	v, ok := vars[string(e)]
+	if !ok {
+		return 0, fmt.Errorf("undefined variable $%s", string(e))
+	}
+	return v, nil
+}
+
+type binOp struct {
+	op   byte
+	l, r expr
+}
+
+func (e *binOp) eval(vars map[string]int64, rng *rand.Rand) (int64, error) {
+	l, err := e.l.eval(vars, rng)
+	if err != nil {
+		return 0, err
+	}
+	r, err := e.r.eval(vars, rng)
+	if err != nil {
+		return 0, err
+	}
+	switch e.op {
+	case '+':
+		return l + r, nil
+	case '-':
+		return l - r, nil
+	case '*':
+		return l * r, nil
+	case '/':
+		if r == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return l / r, nil
+	case '%':
+		if r == 0 {
+			return 0, fmt.Errorf("modulo by zero")
+		}
+		return l % r, nil
+	}
+	return 0, fmt.Errorf("unknown operator %q", string(e.op))
+}
+
+type negOp struct{ x expr }
+
+func (e *negOp) eval(vars map[string]int64, rng *rand.Rand) (int64, error) {
+	v, err := e.x.eval(vars, rng)
+	return -v, err
+}
+
+// randCall is random(lo, hi): uniform in [lo, hi], inclusive on both ends
+// like neobench's random().
+type randCall struct{ lo, hi expr }
+
+func (e *randCall) eval(vars map[string]int64, rng *rand.Rand) (int64, error) {
+	lo, err := e.lo.eval(vars, rng)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := e.hi.eval(vars, rng)
+	if err != nil {
+		return 0, err
+	}
+	if hi < lo {
+		return 0, fmt.Errorf("random(%d, %d): empty range", lo, hi)
+	}
+	return lo + rng.Int63n(hi-lo+1), nil
+}
+
+// checkVars verifies at parse time that every $var an expression reads is
+// already defined, so a typo fails at Parse, not mid-run.
+func checkVars(e expr, defined map[string]bool) error {
+	switch x := e.(type) {
+	case varRef:
+		if !defined[string(x)] {
+			return fmt.Errorf("undefined variable $%s (\\set it first)", string(x))
+		}
+	case *binOp:
+		if err := checkVars(x.l, defined); err != nil {
+			return err
+		}
+		return checkVars(x.r, defined)
+	case *negOp:
+		return checkVars(x.x, defined)
+	case *randCall:
+		if err := checkVars(x.lo, defined); err != nil {
+			return err
+		}
+		return checkVars(x.hi, defined)
+	}
+	return nil
+}
+
+type exprParser struct {
+	s   string
+	pos int
+}
+
+func parseExpr(s string) (expr, error) {
+	p := &exprParser{s: s}
+	e, err := p.sum()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.s) {
+		return nil, fmt.Errorf("trailing input %q in expression %q", p.s[p.pos:], s)
+	}
+	return e, nil
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.s) {
+		return 0
+	}
+	return p.s[p.pos]
+}
+
+func (p *exprParser) sum() (expr, error) {
+	l, err := p.product()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case '+', '-':
+			op := p.s[p.pos]
+			p.pos++
+			r, err := p.product()
+			if err != nil {
+				return nil, err
+			}
+			l = &binOp{op: op, l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *exprParser) product() (expr, error) {
+	l, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case '*', '/', '%':
+			op := p.s[p.pos]
+			p.pos++
+			r, err := p.factor()
+			if err != nil {
+				return nil, err
+			}
+			l = &binOp{op: op, l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *exprParser) factor() (expr, error) {
+	switch c := p.peek(); {
+	case c == 0:
+		return nil, fmt.Errorf("unexpected end of expression %q", p.s)
+	case c == '(':
+		p.pos++
+		e, err := p.sum()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("missing ) in expression %q", p.s)
+		}
+		p.pos++
+		return e, nil
+	case c == '-':
+		p.pos++
+		e, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		return &negOp{x: e}, nil
+	case c == '$':
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.s) && isIdentByte(p.s[p.pos], p.pos > start) {
+			p.pos++
+		}
+		if p.pos == start {
+			return nil, fmt.Errorf("stray $ in expression %q", p.s)
+		}
+		return varRef(p.s[start:p.pos]), nil
+	case c >= '0' && c <= '9':
+		start := p.pos
+		for p.pos < len(p.s) && p.s[p.pos] >= '0' && p.s[p.pos] <= '9' {
+			p.pos++
+		}
+		v, err := strconv.ParseInt(p.s[start:p.pos], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q: %v", p.s[start:p.pos], err)
+		}
+		return intLit(v), nil
+	case isIdentByte(c, false):
+		start := p.pos
+		for p.pos < len(p.s) && isIdentByte(p.s[p.pos], p.pos > start) {
+			p.pos++
+		}
+		name := p.s[start:p.pos]
+		if name != "random" {
+			return nil, fmt.Errorf("unknown function %q (known: random)", name)
+		}
+		if p.peek() != '(' {
+			return nil, fmt.Errorf("random: expected ( in expression %q", p.s)
+		}
+		p.pos++
+		lo, err := p.sum()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ',' {
+			return nil, fmt.Errorf("random: expected , in expression %q", p.s)
+		}
+		p.pos++
+		hi, err := p.sum()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("random: expected ) in expression %q", p.s)
+		}
+		p.pos++
+		return &randCall{lo: lo, hi: hi}, nil
+	default:
+		return nil, fmt.Errorf("unexpected %q in expression %q", strings.TrimSpace(p.s[p.pos:]), p.s)
+	}
+}
