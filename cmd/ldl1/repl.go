@@ -148,13 +148,19 @@ func repl(eng *ldl1.Engine, in io.Reader, out io.Writer) error {
 			ds := eng.Vet()
 			if len(ds) == 0 {
 				fmt.Fprintln(out, "ok: no diagnostics")
-				continue
+			} else {
+				color := isTerminal(out)
+				for _, d := range ds {
+					fmt.Fprintln(out, renderDiag(d, color))
+					for _, rel := range d.Related {
+						fmt.Fprintf(out, "\t%s: %s\n", rel.Pos, rel.Message)
+					}
+				}
 			}
-			color := isTerminal(out)
-			for _, d := range ds {
-				fmt.Fprintln(out, renderDiag(d, color))
-				for _, rel := range d.Related {
-					fmt.Fprintf(out, "\t%s: %s\n", rel.Pos, rel.Message)
+			if sigs := eng.Signatures(); len(sigs) > 0 {
+				fmt.Fprintln(out, "inferred signatures:")
+				for _, s := range sigs {
+					fmt.Fprintf(out, "  %s/%d: (%s)\n", s.Pred, s.Arity, strings.Join(s.Args, ", "))
 				}
 			}
 		case line == ":model":

@@ -2,15 +2,18 @@ package main
 
 // ldl1 vet — the static analyzer as a subcommand.
 //
-//	ldl1 vet [-json] [-strict] path...
+//	ldl1 vet [-json] [-strict] [-sigs] path...
 //
 // A path may be an .ldl file, a Go file (raw string literals that parse as
 // LDL1 are extracted and analyzed in place, positions pointing into the Go
 // file), a directory, or a Go-style "dir/..." pattern; directories are
 // walked recursively for *.ldl and *.go.  Diagnostics go to stdout, one
-// per line, "file:line:col: severity: message [LDL0xx]".  Exit status: 0
-// clean, 1 when any error-severity diagnostic was reported (-strict: when
-// anything at all was reported), 2 on usage or I/O problems.
+// per line, "file:line:col: severity: message [LDL0xx]".  -sigs also
+// prints the inferred per-predicate argument signatures of each .ldl file
+// (with -json, output becomes a {"diagnostics", "signatures"} envelope;
+// bare -json stays a plain diagnostic array).  Exit status: 0 clean, 1
+// when any error-severity diagnostic was reported (-strict: when anything
+// at all was reported), 2 on usage or I/O problems.
 
 import (
 	"encoding/json"
@@ -23,15 +26,18 @@ import (
 	"strings"
 
 	"ldl1/internal/analyze"
+	"ldl1/internal/analyze/types"
+	"ldl1/internal/parser"
 )
 
 func vetMain(args []string, stdout, stderr io.Writer) int {
 	fset := flag.NewFlagSet("vet", flag.ExitOnError)
 	jsonOut := fset.Bool("json", false, "emit diagnostics as a JSON array")
 	strict := fset.Bool("strict", false, "exit 1 on warnings too, not only errors")
+	sigs := fset.Bool("sigs", false, "also print inferred predicate signatures (.ldl files)")
 	fset.SetOutput(stderr)
 	fset.Usage = func() {
-		fmt.Fprintln(stderr, "usage: ldl1 vet [-json] [-strict] file.ldl|file.go|dir|dir/... ...")
+		fmt.Fprintln(stderr, "usage: ldl1 vet [-json] [-strict] [-sigs] file.ldl|file.go|dir|dir/... ...")
 		fset.PrintDefaults()
 	}
 	fset.Parse(args)
@@ -46,7 +52,13 @@ func vetMain(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// fileSigs is one .ldl file's inferred signature block under -sigs.
+	type fileSigs struct {
+		File       string          `json:"file"`
+		Signatures []types.PredSig `json:"signatures"`
+	}
 	var diags []analyze.Diagnostic
+	var sigOut []fileSigs
 	broken := false
 	for _, file := range files {
 		data, err := os.ReadFile(file)
@@ -66,13 +78,30 @@ func vetMain(args []string, stdout, stderr io.Writer) int {
 			continue
 		}
 		diags = append(diags, analyze.Source(string(data), analyze.Options{File: file})...)
+		if *sigs {
+			if unit, err := parser.Parse(string(data)); err == nil {
+				sigOut = append(sigOut, fileSigs{
+					File:       file,
+					Signatures: analyze.Signatures(unit.Program, analyze.Options{File: file}),
+				})
+			}
+		}
 	}
 
 	if *jsonOut {
 		if diags == nil {
 			diags = []analyze.Diagnostic{}
 		}
-		b, err := json.MarshalIndent(diags, "", "  ")
+		var payload any = diags
+		if *sigs {
+			// Envelope form: bare -json keeps its established plain-array
+			// shape for existing consumers.
+			if sigOut == nil {
+				sigOut = []fileSigs{}
+			}
+			payload = map[string]any{"diagnostics": diags, "signatures": sigOut}
+		}
+		b, err := json.MarshalIndent(payload, "", "  ")
 		if err != nil {
 			fmt.Fprintln(stderr, "ldl1 vet:", err)
 			return 2
@@ -80,6 +109,17 @@ func vetMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, string(b))
 	} else {
 		fmt.Fprint(stdout, analyze.Format(diags))
+		if *sigs {
+			for _, fs := range sigOut {
+				if len(fs.Signatures) == 0 {
+					continue
+				}
+				fmt.Fprintf(stdout, "%s: inferred signatures\n", fs.File)
+				for _, s := range fs.Signatures {
+					fmt.Fprintf(stdout, "  %s/%d: (%s)\n", s.Pred, s.Arity, strings.Join(s.Args, ", "))
+				}
+			}
+		}
 	}
 
 	switch {

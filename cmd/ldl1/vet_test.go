@@ -97,6 +97,63 @@ func TestVetMain(t *testing.T) {
 	}
 }
 
+func TestVetSigs(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "anc.ldl")
+	writeFile(t, file, "parent(abe, bob).\nage(abe, 70).\nanc(X, Y) <- parent(X, Y).\nelders(X, <A>) <- age(X, A).\n")
+
+	// Text form: the signature block follows the (empty) diagnostics.
+	code, out, _ := runVet(t, "-sigs", file)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	for _, want := range []string{
+		"inferred signatures",
+		"anc/2: (atom, atom)",
+		"elders/2: (atom, set(int))",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-sigs output lacks %q:\n%s", want, out)
+		}
+	}
+
+	// -json -sigs: envelope with diagnostics and per-file signatures.
+	_, out, _ = runVet(t, "-json", "-sigs", file)
+	var env struct {
+		Diagnostics []analyze.Diagnostic `json:"diagnostics"`
+		Signatures  []struct {
+			File       string `json:"file"`
+			Signatures []struct {
+				Pred  string   `json:"pred"`
+				Arity int      `json:"arity"`
+				Args  []string `json:"args"`
+			} `json:"signatures"`
+		} `json:"signatures"`
+	}
+	if err := json.Unmarshal([]byte(out), &env); err != nil {
+		t.Fatalf("envelope is not JSON: %v\n%s", err, out)
+	}
+	if len(env.Signatures) != 1 || env.Signatures[0].File != file {
+		t.Fatalf("envelope signatures: %+v", env.Signatures)
+	}
+	found := false
+	for _, s := range env.Signatures[0].Signatures {
+		if s.Pred == "age" && s.Arity == 2 && len(s.Args) == 2 && s.Args[1] == "int" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("age/2 signature missing: %s", out)
+	}
+
+	// Bare -json keeps the plain-array shape.
+	_, out, _ = runVet(t, "-json", file)
+	var plain []analyze.Diagnostic
+	if err := json.Unmarshal([]byte(out), &plain); err != nil {
+		t.Errorf("bare -json no longer a plain array: %v\n%s", err, out)
+	}
+}
+
 // TestVetAcceptance pins the ISSUE acceptance scenario: a grouping/negation
 // cycle reports the witness cycle with the file:line:col of each inducing
 // rule and exits nonzero.
@@ -155,5 +212,9 @@ func TestReplCheck(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "ok: no diagnostics") {
 		t.Errorf("clean engine check output:\n%s", out.String())
+	}
+	// :check also surfaces the inferred signatures.
+	if !strings.Contains(out.String(), "p/1: (int)") {
+		t.Errorf("check did not print inferred signatures:\n%s", out.String())
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"ldl1"
+	"ldl1/internal/analyze"
 	"ldl1/internal/ast"
 	"ldl1/internal/eval"
 	"ldl1/internal/incr"
@@ -305,6 +306,17 @@ func benchEntries() ([]benchEntry, error) {
 		sg(X, Y) <- sib(X, Y).
 		sg(X, Y) <- parent(P1, X), sg(P1, P2), parent(P2, Y).
 	`
+	// The v1 analyzer workload's source text, built once: recursive rules
+	// plus a 256-node chain of ground facts, so the type-inference fixpoint
+	// sees both rule-derived and EDB-style signatures.
+	var vetSrcB strings.Builder
+	vetSrcB.WriteString(ancestorRules)
+	vetSrcB.WriteString(sgRules)
+	for i := 0; i < 256; i++ {
+		fmt.Fprintf(&vetSrcB, "parent(n%d, n%d).\n", i, i+1)
+	}
+	vetProgram := vetSrcB.String()
+
 	q1prep, err := preparedOp(ancestorRules, workload.ParentChain(256), "ancestor(n0, W)", q1consts)
 	if err != nil {
 		return nil, err
@@ -417,6 +429,19 @@ func benchEntries() ([]benchEntry, error) {
 			recomputeOp(churnProg, func() (*store.DB, []workload.Update) {
 				return workload.ChurnSupplierParts(64, 8, 32, 29)
 			})},
+		// Static-analysis latency (v8): one full analyzer pipeline run —
+		// parse, safety/admissibility/stratification passes, and the LDL2xx
+		// type-inference fixpoint — over the ancestor + same-generation
+		// rules with a 256-fact parent chain inlined as ground facts, the
+		// same scale the q1 query workloads evaluate.  Tracks the cost a
+		// strict server pays at admission and `ldl1 vet` pays per file.
+		{"v1", "vet-types-chain256", func(ctx context.Context) (eval.Stats, error) {
+			ds := analyze.Source(vetProgram, analyze.Options{})
+			if n := analyze.ErrorCount(ds); n > 0 {
+				return eval.Stats{}, fmt.Errorf("vet benchmark program has %d errors", n)
+			}
+			return eval.Stats{}, nil
+		}},
 	}
 	// d* server smoke workloads (v6): the q1 lookups through ldl1d's HTTP
 	// stack and the Go client, prepared handle vs per-request query text.
@@ -452,7 +477,7 @@ func runBenchJSON(path string, reps int, timeout time.Duration, filter, scale st
 		os.Remove(tmp) // no-op after a successful rename
 	}()
 	report := benchReport{
-		Version:   7, // v7 adds the l* sustained-load entries and latency fields
+		Version:   8, // v8 adds the v1 static-analysis latency entry
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,

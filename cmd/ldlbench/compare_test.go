@@ -9,7 +9,7 @@ import (
 )
 
 func report(results ...benchResult) *benchReport {
-	return &benchReport{Version: 7, Results: results}
+	return &benchReport{Version: 8, Results: results}
 }
 
 func row(id, name string, ns int64) benchResult {

@@ -144,7 +144,7 @@ func runLoad(f loadFlags) error {
 		return fmt.Errorf("%d operations failed", res.Errors)
 	}
 	if f.bench != "" {
-		report := &benchReport{Version: 7, GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU()}
+		report := &benchReport{Version: 8, GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU()}
 		row := loadResultRow(res)
 		row.ID = "load"
 		row.Name = loadRowName(f.workload, res)

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"ldl1/internal/analyze"
+	"ldl1/internal/analyze/types"
 	"ldl1/internal/ast"
 	"ldl1/internal/eval"
 	"ldl1/internal/layering"
@@ -141,6 +143,18 @@ type Engine struct {
 	// deps is the head → body predicate adjacency of the compiled program,
 	// for dependency-cone computation at cache-fill time.
 	deps map[string][]string
+
+	// typeMu guards the memoized type environment below.  The inference
+	// depends only on the compiled program (fixed) and the NAMES of the
+	// extensional predicates (externally loaded facts type as ⊤), so the
+	// memo is keyed by the sorted predicate list and survives fact loads
+	// that introduce no new predicate.
+	typeMu      sync.Mutex
+	typeEnv     *types.Env
+	typeEnvKey  string
+	vetMemo     []analyze.Diagnostic
+	vetMemoKey  string
+	vetMemoInit bool
 }
 
 // New parses an LDL1 (or LDL1.5) program — rules and facts — compiles any
@@ -274,6 +288,47 @@ func (e *Engine) Strata() map[string]int {
 // which case its minimal model is unique (§3, corollary to Theorem 1).
 func (e *Engine) IsPositive() bool { return e.source.IsPositive() }
 
+// edbKey fingerprints the extensional predicate set — the only store input
+// the type inference and the vet pass depend on.  Callers hold e.mu.
+func (e *Engine) edbKey() string {
+	preds := e.edb.Preds()
+	sort.Strings(preds)
+	return strings.Join(preds, "\x00")
+}
+
+// typeEnvNow returns the inferred type environment of the compiled program
+// with every extensional predicate marked Known, memoized until the
+// predicate set changes.  Callers must hold e.mu (read suffices: the memo
+// has its own lock).
+func (e *Engine) typeEnvNow() *types.Env {
+	key := e.edbKey()
+	known := map[string]bool{}
+	for _, p := range e.edb.Preds() {
+		known[p] = true
+	}
+	e.typeMu.Lock()
+	defer e.typeMu.Unlock()
+	if e.typeEnv == nil || e.typeEnvKey != key {
+		e.typeEnv = types.Infer(e.source, nil, types.Options{Known: known}).Env
+		e.typeEnvKey = key
+	}
+	return e.typeEnv
+}
+
+// Signatures returns the inferred per-predicate argument signatures of the
+// program as written — the tooling surface behind vet -sigs and the REPL's
+// :check.  Predicates whose facts live in the extensional store read as ⊤
+// and are omitted.
+func (e *Engine) Signatures() []types.PredSig {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	known := map[string]bool{}
+	for _, p := range e.edb.Preds() {
+		known[p] = true
+	}
+	return analyze.Signatures(e.original, analyze.Options{KnownPreds: known})
+}
+
 // evalOpts assembles the evaluation options of one run under ctx.
 func (e *Engine) evalOpts(ctx context.Context) eval.Options {
 	return eval.Options{
@@ -283,6 +338,7 @@ func (e *Engine) evalOpts(ctx context.Context) eval.Options {
 		Workers:    e.cfg.workers,
 		MemBudget:  e.cfg.memBudget,
 		NoReorder:  e.cfg.noReorder,
+		Types:      e.typeEnvNow(),
 		Ctx:        ctx,
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 
+	"ldl1/internal/analyze/types"
 	"ldl1/internal/ast"
 	"ldl1/internal/lderr"
 	"ldl1/internal/parser"
@@ -80,6 +81,10 @@ const (
 	CodeSetPattern   = "LDL106" // body set pattern can never bind its variables
 	CodeNonTerm      = "LDL107" // function symbols feed a recursive SCC
 	CodeCartesian    = "LDL108" // join step with no bound argument columns
+	CodeTypeClash    = "LDL200" // unification/comparison of disjoint types
+	CodeIllTyped     = "LDL201" // built-in applied to a statically ill-typed argument
+	CodeDead         = "LDL202" // rule or query provably derives nothing (⊥ propagation)
+	CodeMixedGroup   = "LDL203" // grouping collects elements of provably mixed kinds
 )
 
 // CodeInfo describes one diagnostic code for documentation and tooling.
@@ -106,6 +111,10 @@ var codeTable = []CodeInfo{
 	{CodeSetPattern, Warning, "enumerated set pattern in a body literal cannot bind its variables"},
 	{CodeNonTerm, Warning, "function symbols feed a recursive predicate; bottom-up evaluation may not terminate"},
 	{CodeCartesian, Warning, "join step executes with no bound argument columns (cartesian product)"},
+	{CodeTypeClash, Error, "unification or comparison of statically disjoint types can never hold"},
+	{CodeIllTyped, Error, "built-in applied to an argument of a statically impossible type"},
+	{CodeDead, Warning, "rule or query provably derives nothing (empty predicate or unsatisfiable literal)"},
+	{CodeMixedGroup, Warning, "grouping collects elements of provably mixed kinds"},
 }
 
 // Codes returns the full diagnostic catalogue in code order.
@@ -219,6 +228,7 @@ func Program(p *ast.Program, queries []parser.Query, opts Options) []Diagnostic 
 	a.modesPass()
 	a.predicatePass()
 	a.nonTerminationPass()
+	a.typesPass()
 	return finish(a.diags, opts)
 }
 
@@ -239,6 +249,13 @@ type analysis struct {
 	// patterns); the plan-based passes skip them because the engine
 	// evaluates their rewritten form, not the source body.
 	needsRW map[int]bool
+	// notAdmissible marks a failed stratification; the types pass skips the
+	// whole program then — fixpoint layering is what gives the inference
+	// its meaning, and the LDL006 error is the root cause to fix first.
+	notAdmissible bool
+	// typeEnv is the inferred type environment of the types pass, kept for
+	// callers that want signatures alongside diagnostics.
+	typeEnv *types.Env
 }
 
 func (a *analysis) add(d Diagnostic) {

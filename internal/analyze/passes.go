@@ -256,6 +256,7 @@ func (a *analysis) admissibilityPass() {
 	if err == nil {
 		return
 	}
+	a.notAdmissible = true
 	var nae *layering.NotAdmissibleError
 	if !errors.As(err, &nae) {
 		return

@@ -1,0 +1,95 @@
+package analyze
+
+import (
+	"strings"
+
+	"ldl1/internal/analyze/types"
+	"ldl1/internal/ast"
+)
+
+// typesPass runs the abstract type interpretation of internal/analyze/types
+// and maps its findings onto the LDL200 diagnostic family: type clashes in
+// unification/comparison (LDL200), built-ins applied to statically
+// impossible argument types (LDL201), rules and queries that provably
+// derive nothing (LDL202), and groupings that collect elements of mixed
+// kinds (LDL203).  Unsafe and LDL1.5 rules are treated opaquely — the
+// engine evaluates their rewritten form, so their source bodies carry no
+// reliable typing.
+func (a *analysis) typesPass() {
+	if a.notAdmissible {
+		return
+	}
+	skip := map[int]bool{}
+	for i := range a.p.Rules {
+		if a.unsafe[i] || a.needsRW[i] {
+			skip[i] = true
+		}
+	}
+	var queries [][]ast.Literal
+	var queryIdx []int // maps the slot passed to Infer back to a.queries
+	for qi, q := range a.queries {
+		if len(q.Body) == 0 || qNeedsRewrite(q.Body) {
+			continue
+		}
+		queries = append(queries, q.Body)
+		queryIdx = append(queryIdx, qi)
+	}
+	res := types.Infer(a.p, queries, types.Options{
+		Known: a.opts.KnownPreds,
+		Skip:  skip,
+	})
+	a.typeEnv = res.Env
+	for _, f := range res.Findings {
+		d := Diagnostic{Message: f.Message}
+		switch f.Kind {
+		case types.FindClash:
+			d.Code = CodeTypeClash
+		case types.FindIllTyped:
+			d.Code = CodeIllTyped
+		case types.FindDead:
+			d.Code = CodeDead
+		case types.FindMixedGroup:
+			d.Code = CodeMixedGroup
+		}
+		if f.RuleIndex >= 0 {
+			r := a.p.Rules[f.RuleIndex]
+			d.Pred = r.Head.Pred
+			d.Rule = r.String()
+			var lit *ast.Literal
+			if f.HasLit {
+				lit = &f.Lit
+			}
+			d.Pos = rulePos(r, lit, f.Var)
+		} else if f.QueryIndex >= 0 {
+			body := queries[f.QueryIndex]
+			parts := make([]string, len(body))
+			for i, l := range body {
+				parts[i] = l.String()
+			}
+			d.Rule = "?- " + strings.Join(parts, ", ") + "."
+			d.Pos = body[0].Pos
+			if f.HasLit && f.Lit.Pos.Known() {
+				d.Pos = f.Lit.Pos
+			}
+		}
+		a.add(d)
+	}
+}
+
+// Signatures infers and renders the per-predicate argument signatures of a
+// program — the tooling surface behind `ldl1 vet -sigs`, the REPL's
+// :check, and Engine.Signatures.  Unsafe and LDL1.5 rules are treated
+// opaquely, exactly as in the diagnostic pass.
+func Signatures(p *ast.Program, opts Options) []types.PredSig {
+	a := &analysis{p: p, opts: opts}
+	a.safetyPass()
+	a.shapePass()
+	skip := map[int]bool{}
+	for i := range p.Rules {
+		if a.unsafe[i] || a.needsRW[i] {
+			skip[i] = true
+		}
+	}
+	res := types.Infer(p, nil, types.Options{Known: opts.KnownPreds, Skip: skip})
+	return res.Env.Render()
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"ldl1/internal/analyze/types"
 	"ldl1/internal/ast"
 	"ldl1/internal/builtin"
 	"ldl1/internal/layering"
@@ -123,6 +124,12 @@ type Options struct {
 	// benchmarks and for reproducing pre-cost plans.  The computed model is
 	// identical either way; only the join schedule differs.
 	NoReorder bool
+	// Types, when non-nil, is the program's inferred type environment
+	// (internal/analyze/types).  The cost-based planner uses it to price
+	// statically impossible probes at zero and to prefer int-keyed index
+	// paths on ties.  The computed model is unchanged — typing only informs
+	// the join schedule.  Ignored under NoReorder.
+	Types *types.Env
 }
 
 // LimitError reports that evaluation exceeded Options.MaxDerived.  It is
@@ -176,7 +183,7 @@ func EvalGroups(groups [][]ast.Rule, db *store.DB, opts Options) error {
 		db: db, stats: opts.Stats, prov: opts.Provenance, deltaSlot: -1,
 		maxDerived: opts.MaxDerived, memBudget: opts.MemBudget,
 		ctx: opts.Ctx, breach: new(atomic.Bool), workers: workers,
-		noReorder: opts.NoReorder,
+		noReorder: opts.NoReorder, types: opts.Types,
 	}
 	for _, rules := range groups {
 		if err := ex.checkCtx(); err != nil {
@@ -283,6 +290,8 @@ type exec struct {
 	workers int
 	// noReorder pins the static literal order; see Options.NoReorder.
 	noReorder bool
+	// types, when non-nil, refines cost-based planning; see Options.Types.
+	types *types.Env
 	// access-path counters, accumulated locally (workers have no stats
 	// sink) and flushed into stats by EvalGroups / the round merge.
 	idxHits   int
@@ -298,7 +307,7 @@ func (ex *exec) plan(r ast.Rule, forcedFirst int) (*bodyPlan, error) {
 	if ex.noReorder {
 		db = nil
 	}
-	p, err := planBodyDB(r, forcedFirst, nil, db)
+	p, err := planBodyDB(r, forcedFirst, nil, db, ex.types)
 	if err != nil {
 		return nil, err
 	}
@@ -987,7 +996,7 @@ func SolveCtx(ctx context.Context, body []ast.Literal, db *store.DB) ([]map[term
 // SolveLimitsCtx is SolveCtx under per-call resource bounds.
 func SolveLimitsCtx(ctx context.Context, body []ast.Literal, db *store.DB, lim SolveLimits) ([]map[term.Var]term.Term, error) {
 	r := ast.Rule{Head: ast.NewLit("$query"), Body: body}
-	p, err := planBodyDB(r, -1, nil, db)
+	p, err := planBodyDB(r, -1, nil, db, nil)
 	if err != nil {
 		return nil, err
 	}

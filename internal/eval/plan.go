@@ -6,6 +6,7 @@ package eval
 import (
 	"fmt"
 
+	"ldl1/internal/analyze/types"
 	"ldl1/internal/ast"
 	"ldl1/internal/builtin"
 	"ldl1/internal/layering"
@@ -83,18 +84,20 @@ type Plan struct {
 // data-independent, so magic-set sips and analysis diagnostics are stable
 // across databases.
 func CompileBody(r ast.Rule, forcedFirst int, preBound map[term.Var]bool) (*Plan, error) {
-	return compilePlan(r, forcedFirst, preBound, nil)
+	return compilePlan(r, forcedFirst, preBound, nil, nil)
 }
 
 // CompileBodyDB is CompileBody under the cost model: body literals are
 // scheduled by estimated candidate count against the live cardinalities of
-// db.  A nil db degrades to the static order.
-func CompileBodyDB(r ast.Rule, forcedFirst int, preBound map[term.Var]bool, db *store.DB) (*Plan, error) {
-	return compilePlan(r, forcedFirst, preBound, db)
+// db, refined by the inferred type environment when env is non-nil (probes
+// proven empty by typing cost 0; int-keyed probes win ties).  A nil db
+// degrades to the static order.
+func CompileBodyDB(r ast.Rule, forcedFirst int, preBound map[term.Var]bool, db *store.DB, env *types.Env) (*Plan, error) {
+	return compilePlan(r, forcedFirst, preBound, db, env)
 }
 
-func compilePlan(r ast.Rule, forcedFirst int, preBound map[term.Var]bool, db *store.DB) (*Plan, error) {
-	p, err := planBodyDB(r, forcedFirst, preBound, db)
+func compilePlan(r ast.Rule, forcedFirst int, preBound map[term.Var]bool, db *store.DB, env *types.Env) (*Plan, error) {
+	p, err := planBodyDB(r, forcedFirst, preBound, db, env)
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +178,7 @@ func compileKey(arg term.Term) keyFn {
 // If forcedFirst >= 0 that literal is scheduled first (semi-naive delta
 // occurrence).  preBound seeds the bound-variable set (magic evaluation).
 func planBody(r ast.Rule, forcedFirst int, preBound map[term.Var]bool) (*bodyPlan, error) {
-	return planBodyDB(r, forcedFirst, preBound, nil)
+	return planBodyDB(r, forcedFirst, preBound, nil, nil)
 }
 
 // unknownCard is the assumed cardinality of a predicate with no relation in
@@ -232,11 +235,16 @@ func estimate(db *store.DB, pred string, cols []int, arity int) (est, n int64) {
 // planBodyDB is planBody with an optional database: when db is non-nil the
 // class-3 choice (positive database literals) is cost-based — the literal
 // with the smallest estimated candidate count runs next, with ties broken
-// by more bound columns, then smaller relation, then source order.  A nil
-// db preserves the static most-bound-columns order exactly, which keeps
-// magic-set sips, analysis diagnostics, and maintenance plans
+// by more bound columns, then more int-typed bound columns, then smaller
+// relation, then source order.  A non-nil env refines the estimates with
+// inferred types: a literal whose argument types are disjoint from the
+// predicate's inferred signature (or whose predicate is provably empty)
+// can never match and costs 0, and ties prefer probes whose bound columns
+// are statically integers — those hit the store's compact int-keyed index
+// paths.  A nil db preserves the static most-bound-columns order exactly,
+// which keeps magic-set sips, analysis diagnostics, and maintenance plans
 // data-independent.
-func planBodyDB(r ast.Rule, forcedFirst int, preBound map[term.Var]bool, db *store.DB) (*bodyPlan, error) {
+func planBodyDB(r ast.Rule, forcedFirst int, preBound map[term.Var]bool, db *store.DB, env *types.Env) (*bodyPlan, error) {
 	body := r.Body
 	n := len(body)
 	used := make([]bool, n)
@@ -265,6 +273,52 @@ func planBodyDB(r ast.Rule, forcedFirst int, preBound map[term.Var]bool, db *sto
 			}
 		}
 	}
+	// Typed selectivity: the rule's variable types under env, computed
+	// lazily — RuleVarTypes runs a per-body meet fixpoint, so only pay for
+	// it when a database literal is actually priced.  The store is
+	// binding-independent, so one computation serves every step.  Only the
+	// individually unmatchable literal is priced at zero (not every literal
+	// of a dead rule): that schedules the refuting probe first, so the join
+	// short-circuits after zero candidate facts.
+	var (
+		tvt     map[term.Var]types.Type
+		tLoaded bool
+	)
+	typedPrune := func(l ast.Literal) bool {
+		if env == nil {
+			return false
+		}
+		if !tLoaded {
+			tvt, _ = env.RuleVarTypes(r)
+			tLoaded = true
+		}
+		if env.ProvablyEmpty(l.Pred, len(l.Args)) {
+			return true
+		}
+		for col, arg := range l.Args {
+			ta := env.TypeOfArg(tvt, arg)
+			tc := env.ArgType(l.Pred, len(l.Args), col)
+			if ta.IsBottom() || tc.IsBottom() {
+				continue
+			}
+			if types.Meet(ta, tc).IsBottom() {
+				return true
+			}
+		}
+		return false
+	}
+	intBound := func(l ast.Literal, cols []int) int {
+		if env == nil {
+			return 0
+		}
+		k := 0
+		for _, c := range cols {
+			if env.ArgType(l.Pred, len(l.Args), c).Kinds == types.Int {
+				k++
+			}
+		}
+		return k
+	}
 	p := &bodyPlan{order: make([]int, 0, n), acc: make([]access, 0, n), est: make([]int64, 0, n)}
 	take := func(i int) {
 		l := body[i]
@@ -276,6 +330,9 @@ func planBodyDB(r ast.Rule, forcedFirst int, preBound map[term.Var]bool, db *sto
 		var stepEst int64
 		if db != nil && isDB {
 			stepEst, _ = estimate(db, l.Pred, a.cols, len(l.Args))
+			if stepEst > 0 && typedPrune(l) {
+				stepEst = 0
+			}
 			p.estRows += stepEst
 		}
 		p.est = append(p.est, stepEst)
@@ -363,19 +420,26 @@ func planBodyDB(r ast.Rule, forcedFirst int, preBound map[term.Var]bool, db *sto
 			if db != nil && staticBest >= 0 && posLeft > 1 {
 				best := -1
 				var bestEst, bestN int64
-				bestCols := -1
+				bestCols, bestInt := -1, -1
 				for i := 0; i < n; i++ {
 					if used[i] || body[i].Negated || layering.IsBuiltin(body[i].Pred) {
 						continue
 					}
 					a := compileAccess(body[i], argVars[i], bound, false)
 					est, card := estimate(db, body[i].Pred, a.cols, len(body[i].Args))
+					if est > 0 && typedPrune(body[i]) {
+						// Typing proves this literal matches nothing: running
+						// it first short-circuits the whole join.
+						est = 0
+					}
+					ik := intBound(body[i], a.cols)
 					better := best < 0 ||
 						est < bestEst ||
 						(est == bestEst && (len(a.cols) > bestCols ||
-							(len(a.cols) == bestCols && card < bestN)))
+							(len(a.cols) == bestCols && (ik > bestInt ||
+								(ik == bestInt && card < bestN)))))
 					if better {
-						best, bestEst, bestCols, bestN = i, est, len(a.cols), card
+						best, bestEst, bestCols, bestInt, bestN = i, est, len(a.cols), ik, card
 					}
 				}
 				if best != staticBest {

@@ -215,6 +215,38 @@ func TestAdminEndpoints(t *testing.T) {
 	}
 }
 
+// TestTypedAdmission: the LDL200 type-inference family participates in
+// admission — a program whose rule unifies statically disjoint types is
+// rejected 422 vet_error even without StrictVet (LDL200 is error severity),
+// and the positioned diagnostic reaches the client.
+func TestTypedAdmission(t *testing.T) {
+	_, ts := newTestServer(t, Config{AllowAdmin: true})
+	var eb errorBody
+	prog := "age(ann, 31).\nadult(X) <- age(X, A), A = grown.\n"
+	st := doJSON(t, http.MethodPut, ts.URL+"/db/typed", loadRequest{Program: prog}, &eb)
+	if st != 422 || eb.Error.Code != "vet_error" {
+		t.Fatalf("ill-typed load: status %d code %q, want 422 vet_error", st, eb.Error.Code)
+	}
+	found := false
+	for _, d := range eb.Error.Diagnostics {
+		if d.Code == "LDL200" {
+			found = true
+			if d.Pos.Line != 2 {
+				t.Errorf("LDL200 position %v, want line 2", d.Pos)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no LDL200 diagnostic in rejection: %+v", eb.Error.Diagnostics)
+	}
+
+	// The same program without the clash loads fine.
+	ok := "age(ann, 31).\nadult(X) <- age(X, A), A >= 18.\n"
+	if st := doJSON(t, http.MethodPut, ts.URL+"/db/typed", loadRequest{Program: ok}, nil); st != 200 {
+		t.Fatalf("well-typed load: status %d, want 200", st)
+	}
+}
+
 func TestAdminDisabled(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	for _, c := range []struct{ method, path string }{

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"ldl1/internal/analyze"
 	"ldl1/internal/ast"
 	"ldl1/internal/eval"
 	"ldl1/internal/layering"
@@ -57,6 +58,22 @@ func (e *Engine) Prepare(q string) (*PreparedQuery, error) {
 	query, err := parser.ParseQuery(q)
 	if err != nil {
 		return nil, err
+	}
+	if e.cfg.strict {
+		// Under WithStrict the program itself was vetted clean at New, so
+		// any diagnostic here is attributable to the query — e.g. an
+		// LDL200 type clash or an LDL202 provably empty literal.  Codes
+		// and positions (within the query text) match what Vet reports
+		// for the same query appended to the program source.
+		e.mu.RLock()
+		known := map[string]bool{}
+		for _, pred := range e.edb.Preds() {
+			known[pred] = true
+		}
+		e.mu.RUnlock()
+		if ds := analyze.Program(e.original, []parser.Query{query}, analyze.Options{KnownPreds: known}); len(ds) > 0 {
+			return nil, &VetError{Diagnostics: ds}
+		}
 	}
 	pq := &PreparedQuery{e: e, query: query}
 	if len(query.Body) == 1 {
@@ -416,6 +433,13 @@ func (e *Engine) planString(query parser.Query) string {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	var sb strings.Builder
+	env := e.typeEnvNow()
+	if sigs := env.Render(); len(sigs) > 0 {
+		sb.WriteString("-- inferred signatures\n")
+		for _, s := range sigs {
+			fmt.Fprintf(&sb, "--   %s/%d: (%s)\n", s.Pred, s.Arity, strings.Join(s.Args, ", "))
+		}
+	}
 	for _, r := range e.source.Rules {
 		if r.IsFact() {
 			continue
@@ -427,7 +451,7 @@ func (e *Engine) planString(query parser.Query) string {
 		if e.cfg.noReorder {
 			db = nil
 		}
-		p, err := eval.CompileBodyDB(r, -1, nil, db)
+		p, err := eval.CompileBodyDB(r, -1, nil, db, env)
 		if err != nil {
 			fmt.Fprintf(&sb, "%s  -- unplannable: %v\n", r.String(), err)
 			continue

@@ -57,6 +57,95 @@ func TestEngineVet(t *testing.T) {
 	}
 }
 
+func TestEngineVetMemoized(t *testing.T) {
+	eng, err := New("d(1).\np(X) <- edb(X).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := eng.Vet()
+	if len(first) == 0 {
+		t.Fatal("expected diagnostics (undefined edb/1)")
+	}
+	// Callers own the returned slice: mutating it must not corrupt the memo.
+	first[0].Code = "MUTATED"
+	second := eng.Vet()
+	if hasCode(second, "MUTATED") {
+		t.Error("memoized diagnostics were corrupted by caller mutation")
+	}
+	// Loading facts invalidates by predicate set, not by fact count: the
+	// memo recomputes when edb/1 appears and the LDL102 disappears, then
+	// stays stable across further loads of the same predicate.
+	if err := eng.AddFacts("edb(7)."); err != nil {
+		t.Fatal(err)
+	}
+	if ds := eng.Vet(); hasCode(ds, "LDL102") {
+		t.Errorf("memo not invalidated by a new extensional predicate: %v", ds)
+	}
+	if err := eng.AddFacts("edb(8)."); err != nil {
+		t.Fatal(err)
+	}
+	a, b := eng.Vet(), eng.Vet()
+	if len(a) != len(b) {
+		t.Errorf("repeated Vet disagrees: %v vs %v", a, b)
+	}
+}
+
+func TestPrepareStrictVetsQuery(t *testing.T) {
+	const prog = "num(1).\nnum(2).\n"
+	const q = "?- num(X), X = a."
+
+	// Reference: direct Vet of the program with the query appended.
+	direct := Vet(prog + q + "\n")
+	var want *Diagnostic
+	for i, d := range direct {
+		if d.Code == "LDL200" {
+			want = &direct[i]
+			break
+		}
+	}
+	if want == nil {
+		t.Fatalf("direct vet misses the type clash: %v", direct)
+	}
+
+	eng, err := New(prog, WithStrict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Prepare(q)
+	var ve *VetError
+	if !errors.As(err, &ve) {
+		t.Fatalf("strict Prepare should fail with *VetError, got %v", err)
+	}
+	var got *Diagnostic
+	for i, d := range ve.Diagnostics {
+		if d.Code == "LDL200" {
+			got = &ve.Diagnostics[i]
+			break
+		}
+	}
+	if got == nil {
+		t.Fatalf("strict Prepare misses the type clash: %v", ve.Diagnostics)
+	}
+	// Same code and position as direct Vet, modulo the two program lines
+	// that precede the query in the direct source.
+	if got.Pos.Col != want.Pos.Col || got.Pos.Line != want.Pos.Line-2 {
+		t.Errorf("position mismatch: prepared %v vs direct %v", got.Pos, want.Pos)
+	}
+
+	// Well-typed queries still prepare, and non-strict engines accept the
+	// ill-typed one (it just returns no answers).
+	if _, err := eng.Prepare("?- num(X), X > 1."); err != nil {
+		t.Errorf("strict Prepare rejected a well-typed query: %v", err)
+	}
+	plain, err := New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.Prepare(q); err != nil {
+		t.Errorf("non-strict Prepare rejected the query: %v", err)
+	}
+}
+
 func TestWithStrict(t *testing.T) {
 	// A warning (cartesian join) is enough to fail strict construction.
 	_, err := New("d(1).\ne(2).\npair(X, Y) <- d(X), e(Y).\n", WithStrict())
